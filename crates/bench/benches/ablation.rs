@@ -1,0 +1,39 @@
+//! HUC/DGM ablation (Figures 6–7): RECEIPT vs RECEIPT- (no DGM) vs
+//! RECEIPT-- (no DGM, no HUC), on both workload regimes.
+
+mod common;
+
+use bigraph::Side;
+use criterion::{criterion_group, criterion_main, Criterion};
+use receipt::Config;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let skewed = common::skewed_graph();
+    let mild = common::mild_graph();
+
+    let mut group = c.benchmark_group("fig6_7_ablation");
+    for (name, g) in [("skewed", &skewed), ("mild", &mild)] {
+        let configs = [
+            ("receipt", Config::default().with_partitions(32)),
+            ("receipt_minus", Config::default().with_partitions(32).without_dgm()),
+            (
+                "receipt_minus_minus",
+                Config::default().with_partitions(32).baseline_variant(),
+            ),
+        ];
+        for (cfg_name, cfg) in configs {
+            group.bench_function(format!("{cfg_name}/{name}"), |b| {
+                b.iter(|| black_box(receipt::tip_decompose(g, Side::U, &cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Per-vertex butterfly counting kernels (the `pvBcnt` rows of Table 3).
+//!
+//! Compares the naive `O(Σ d²)` counter, the sequential vertex-priority
+//! algorithm (Algorithm 1), and its parallel variant.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_counting(c: &mut Criterion) {
+    let skewed = common::skewed_graph();
+    let mild = common::mild_graph();
+
+    let mut group = c.benchmark_group("counting");
+    for (name, g) in [("skewed", &skewed), ("mild", &mild)] {
+        let ranked = bigraph::RankedGraph::from_csr(g);
+        group.bench_function(format!("vertex_priority/{name}"), |b| {
+            b.iter(|| black_box(butterfly::count::vertex_priority_counts(&ranked)))
+        });
+        group.bench_function(format!("parallel/{name}"), |b| {
+            b.iter(|| black_box(butterfly::parallel::par_vertex_priority_counts(&ranked)))
+        });
+        group.bench_function(format!("ranking/{name}"), |b| {
+            b.iter(|| black_box(bigraph::RankedGraph::from_csr(g)))
+        });
+    }
+    // The naive oracle only on a downscaled graph (it is quadratic).
+    let tiny = bigraph::gen::zipf(1_500, 800, 6_000, 0.5, 0.9, 3);
+    group.bench_function("naive/tiny", |b| {
+        b.iter(|| black_box(butterfly::naive::naive_counts(&tiny)))
+    });
+    let tiny_ranked = bigraph::RankedGraph::from_csr(&tiny);
+    group.bench_function("vertex_priority/tiny", |b| {
+        b.iter(|| black_box(butterfly::count::vertex_priority_counts(&tiny_ranked)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench_counting
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! RECEIPT sensitivity to the partition count P (Figure 5).
+
+mod common;
+
+use bigraph::Side;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use receipt::Config;
+use std::hint::black_box;
+
+fn bench_partitions(c: &mut Criterion) {
+    let g = common::skewed_graph();
+    let mut group = c.benchmark_group("fig5_partitions");
+    for p in [4usize, 16, 64, 150, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                black_box(receipt::tip_decompose(
+                    &g,
+                    Side::U,
+                    &Config::default().with_partitions(p),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench_partitions
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Phase costs (Figures 8–9): counting, coarse decomposition, and
+//! fine-grained decomposition measured separately.
+
+mod common;
+
+use bigraph::Side;
+use criterion::{criterion_group, criterion_main, Criterion};
+use receipt::{cd, fd, Config};
+use std::hint::black_box;
+
+fn bench_phases(c: &mut Criterion) {
+    let g = common::skewed_graph();
+    let cfg = Config::default().with_partitions(32);
+
+    let mut group = c.benchmark_group("fig8_9_phases");
+    group.bench_function("pvBcnt", |b| {
+        b.iter(|| black_box(butterfly::par_count_graph(&g)))
+    });
+    group.bench_function("cd", |b| {
+        b.iter(|| black_box(cd::coarse_decompose(&g, Side::U, &cfg)))
+    });
+    // FD alone, with a precomputed coarse result.
+    let coarse = cd::coarse_decompose(&g, Side::U, &cfg);
+    group.bench_function("fd", |b| {
+        b.iter(|| {
+            black_box(fd::fine_decompose(
+                g.view(Side::U),
+                coarse.clone(),
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::quick();
+    targets = bench_phases
+}
+criterion_main!(benches);

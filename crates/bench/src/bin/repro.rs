@@ -1,0 +1,352 @@
+//! `repro` — regenerates every table and figure of the RECEIPT paper's
+//! evaluation (§5) on the synthetic dataset analogs.
+//!
+//! ```text
+//! cargo run --release -p receipt-bench --bin repro -- <experiment>
+//!   table2   dataset statistics (sizes, butterflies, wedges, θ_max)
+//!   table3   t / wedges / sync-rounds for pvBcnt, BUP, ParB, RECEIPT
+//!   fig4     cumulative tip-number distribution (Tr analog, both sides)
+//!   fig5     RECEIPT execution time vs partition count P
+//!   fig6     ablation: wedges for RECEIPT / RECEIPT- / RECEIPT--
+//!   fig7     ablation: time for RECEIPT / RECEIPT- / RECEIPT--
+//!   fig8     wedge-traversal breakup (CD / FD / pvBcnt)
+//!   fig9     execution-time breakup (CD / FD / pvBcnt)
+//!   fig10    thread scaling, peeling U
+//!   fig11    thread scaling, peeling V
+//!   wing     §7 extension: parallel vs sequential wing decomposition
+//!   projection  §1 motivation: unipartite-projection blowup
+//!   all      everything above, in order
+//! ```
+//!
+//! Outputs are plain text tables; `EXPERIMENTS.md` records one full run and
+//! compares against the paper.
+
+use bigraph::{stats, Side};
+use receipt::{Config, hierarchy};
+use receipt_bench::runner::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "table2" => table2(),
+        "table3" => table3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6_fig7(true),
+        "fig7" => fig6_fig7(false),
+        "fig8" => fig8_fig9(true),
+        "fig9" => fig8_fig9(false),
+        "fig10" => fig10_fig11(Side::U),
+        "fig11" => fig10_fig11(Side::V),
+        "wing" => wing_extension(),
+        "projection" => projection_motivation(),
+        "all" => {
+            table2();
+            table3();
+            fig4();
+            fig5();
+            fig6_fig7(true);
+            fig6_fig7(false);
+            fig8_fig9(true);
+            fig8_fig9(false);
+            fig10_fig11(Side::U);
+            fig10_fig11(Side::V);
+            wing_extension();
+            projection_motivation();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; see --help in the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Table 2: dataset statistics, including θ_max for both sides (which
+/// requires a full decomposition per side).
+fn table2() {
+    header("Table 2: bipartite dataset analogs (wedges/butterflies in millions)");
+    println!(
+        "{:<5} {:>8} {:>8} {:>9} {:>11} {:>10} {:>10} {:>10} {:>10}",
+        "name", "|U|", "|V|", "|E|", "dU/dV", "bf(M)", "wedge(M)", "thmaxU", "thmaxV"
+    );
+    for spec in bigraph::datasets::all() {
+        let g = spec.generate();
+        let vu = g.view(Side::U);
+        let vv = g.view(Side::V);
+        let counts = butterfly::par_count_graph(&g);
+        let wedges = stats::total_primary_wedges(vu) + stats::total_primary_wedges(vv);
+        let cfg = Config::default();
+        let tu = receipt::tip_decompose(&g, Side::U, &cfg);
+        let tv = receipt::tip_decompose(&g, Side::V, &cfg);
+        println!(
+            "{:<5} {:>8} {:>8} {:>9} {:>11} {:>10} {:>10} {:>10} {:>10}",
+            spec.name,
+            g.num_u(),
+            g.num_v(),
+            g.num_edges(),
+            format!(
+                "{:.1}/{:.1}",
+                stats::avg_primary_degree(vu),
+                stats::avg_primary_degree(vv)
+            ),
+            millions(counts.total()),
+            millions(wedges),
+            tu.theta_max(),
+            tv.theta_max(),
+        );
+    }
+}
+
+/// Table 3: execution time, wedges traversed, and synchronization rounds
+/// for each algorithm. Also prints the `r = ∧_peel/∧_cnt` ratio of §5.2.2.
+fn table3() {
+    header("Table 3: t(s) / wedges(M) / sync rounds for all algorithms");
+    println!(
+        "{:<5} {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>10} | {:>8} {:>8} | {:>9}",
+        "data", "t_pvBcnt", "t_BUP", "t_ParB", "t_RECEIPT", "W_BUP", "W_RCPT", "W_pvBcnt",
+        "rho_ParB", "rho_RCPT", "r"
+    );
+    for w in all_workloads() {
+        let bup = run_bup(&w);
+        let parb = run_parb(&w);
+        let rcpt = run_receipt(&w, &Config::default());
+        assert_eq!(bup.tip, parb.tip, "{}: ParB diverged", w.label());
+        assert_eq!(bup.tip, rcpt.tip, "{}: RECEIPT diverged", w.label());
+        let r = bup.wedges_peel as f64 / bup.wedges_count.max(1) as f64;
+        println!(
+            "{:<5} {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>10} | {:>8} {:>8} | {:>9.1}",
+            w.label(),
+            secs(bup.time_count),
+            secs(bup.time_peel),
+            secs(parb.time_peel),
+            secs(rcpt.metrics.time_total()),
+            millions(bup.wedges_count + bup.wedges_peel),
+            millions(rcpt.metrics.wedges_total()),
+            millions(bup.wedges_count),
+            parb.rounds,
+            rcpt.metrics.sync_rounds,
+            r,
+        );
+    }
+}
+
+/// Figure 4: cumulative tip-number distribution for the Tr analog.
+fn fig4() {
+    header("Figure 4: tip-number cumulative distribution (Tr analog)");
+    for side in [Side::U, Side::V] {
+        let w = workload_by_label(&format!("Tr{side}")).unwrap();
+        let d = run_receipt(&w, &Config::default());
+        let cdf = d.cumulative_distribution();
+        println!("-- {} (theta_max = {}) --", w.label(), d.theta_max());
+        println!("{:>12} {:>10}", "theta", "% <= theta");
+        // Sample the curve at log-spaced thetas like the paper's log x-axis.
+        let mut last_printed = f64::NEG_INFINITY;
+        for &(theta, frac) in &cdf {
+            let pct = frac * 100.0;
+            if pct - last_printed >= 4.0 || theta == cdf.last().unwrap().0 {
+                println!("{:>12} {:>10.2}", theta, pct);
+                last_printed = pct;
+            }
+        }
+        // Paper's observation: the overwhelming majority of vertices sit far
+        // below θ_max.
+        let theta_max = d.theta_max();
+        let below = d.tip.iter().filter(|&&t| (t as f64) < 0.03 * theta_max as f64).count();
+        println!(
+            "   {:.2}% of vertices have theta < 3% of theta_max",
+            100.0 * below as f64 / d.tip.len() as f64
+        );
+        // k-tip sanity: the densest tip is non-trivial.
+        let top = hierarchy::vertices_with_tip_at_least(&d.tip, theta_max);
+        println!("   {} vertices attain theta_max", top.len());
+    }
+}
+
+/// Figure 5: execution time vs number of partitions P.
+fn fig5() {
+    header("Figure 5: RECEIPT execution time (s) vs P");
+    let sweeps = [10usize, 25, 50, 100, 150, 250, 400];
+    print!("{:<5}", "data");
+    for p in sweeps {
+        print!(" {:>8}", format!("P={p}"));
+    }
+    println!();
+    for label in ["TrU", "OrU", "EnU", "LjU", "DeU", "ItU"] {
+        let w = workload_by_label(label).unwrap();
+        print!("{:<5}", w.label());
+        for p in sweeps {
+            let d = run_receipt(&w, &Config::default().with_partitions(p));
+            print!(" {:>8}", secs(d.metrics.time_total()));
+        }
+        println!();
+    }
+}
+
+/// Figures 6 and 7: effect of the workload optimizations. Values are
+/// normalized against RECEIPT-- (no DGM, no HUC), as in the paper.
+fn fig6_fig7(wedges: bool) {
+    header(if wedges {
+        "Figure 6: normalized wedge traversal (RECEIPT / RECEIPT- / RECEIPT--)"
+    } else {
+        "Figure 7: normalized execution time (RECEIPT / RECEIPT- / RECEIPT--)"
+    });
+    println!(
+        "{:<5} {:>10} {:>10} {:>10}",
+        "data", "RECEIPT", "RECEIPT-", "RECEIPT--"
+    );
+    for w in all_workloads() {
+        let full = run_receipt(&w, &Config::default());
+        let minus = run_receipt(&w, &Config::default().without_dgm());
+        let mm = run_receipt(&w, &Config::default().baseline_variant());
+        let val = |d: &receipt::TipDecomposition| {
+            if wedges {
+                d.metrics.wedges_total() as f64
+            } else {
+                d.metrics.time_total().as_secs_f64()
+            }
+        };
+        let base = val(&mm).max(1e-12);
+        println!(
+            "{:<5} {:>10.3} {:>10.3} {:>10.3}",
+            w.label(),
+            val(&full) / base,
+            val(&minus) / base,
+            1.0
+        );
+    }
+}
+
+/// Figures 8 and 9: per-phase breakup of wedges / time.
+fn fig8_fig9(wedges: bool) {
+    header(if wedges {
+        "Figure 8: wedge-traversal breakup (%)"
+    } else {
+        "Figure 9: execution-time breakup (%)"
+    });
+    println!(
+        "{:<5} {:>10} {:>12} {:>12}",
+        "data", "pvBcnt", "RECEIPT_CD", "RECEIPT_FD"
+    );
+    for w in all_workloads() {
+        let d = run_receipt(&w, &Config::default());
+        let (c, cd, fd) = if wedges {
+            d.metrics.wedge_breakdown()
+        } else {
+            d.metrics.time_breakdown()
+        };
+        println!(
+            "{:<5} {:>10.1} {:>12.1} {:>12.1}",
+            w.label(),
+            c * 100.0,
+            cd * 100.0,
+            fd * 100.0
+        );
+    }
+}
+
+/// §1 motivation: projecting a bipartite graph to run unipartite
+/// decompositions blows up the edge count (quadratically in hub degrees).
+fn projection_motivation() {
+    header("§1 motivation: unipartite-projection blowup (|E_proj| / |E|)");
+    println!(
+        "{:<5} {:>10} {:>14} {:>10} {:>14} {:>10}",
+        "name", "|E|", "projU edges", "blowupU", "projV edges", "blowupV"
+    );
+    for spec in bigraph::datasets::all() {
+        let g = spec.generate();
+        let pu = bigraph::projection::projected_edge_count(g.view(Side::U));
+        let pv = bigraph::projection::projected_edge_count(g.view(Side::V));
+        println!(
+            "{:<5} {:>10} {:>14} {:>10.1} {:>14} {:>10.1}",
+            spec.name,
+            g.num_edges(),
+            pu,
+            pu as f64 / g.num_edges() as f64,
+            pv,
+            pv as f64 / g.num_edges() as f64,
+        );
+    }
+}
+
+/// §7 extension: RECEIPT-style parallel wing decomposition vs sequential
+/// bottom-up edge peeling, on downscaled analogs (edge peeling is an order
+/// of magnitude costlier than vertex peeling, as the paper notes).
+fn wing_extension() {
+    header("§7 extension: wing decomposition (sequential vs RECEIPT-style parallel)");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8} {:>9}",
+        "graph", "|E|", "t_seq(s)", "t_rcpt(s)", "work_seq", "work_rcpt", "rounds", "max_wing"
+    );
+    let workloads = [
+        ("zipf-40k", bigraph::gen::zipf(6_000, 2_500, 40_000, 0.5, 1.0, 5)),
+        ("blocks", bigraph::gen::planted_bicliques(3_000, 3_000, 30, 8, 8, 15_000, 6)),
+        ("pa-30k", bigraph::gen::preferential_attachment(10_000, 4_000, 3, 7)),
+    ];
+    for (name, g) in &workloads {
+        let view = g.view(Side::U);
+        let t0 = std::time::Instant::now();
+        let seq = receipt::wing::wing_decompose(view, 4);
+        let t_seq = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let (par, metrics) = receipt::wing_parallel::receipt_wing_decompose(view, 50, 4);
+        let t_par = t1.elapsed();
+        assert_eq!(seq.wing, par.wing, "{name}: parallel wing diverged");
+        println!(
+            "{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8} {:>9}",
+            name,
+            g.num_edges(),
+            secs(t_seq),
+            secs(t_par),
+            millions(seq.work),
+            millions(par.work),
+            metrics.sync_rounds,
+            par.max_wing(),
+        );
+    }
+    println!("(work in millions of intersection steps; wing numbers verified equal)");
+}
+
+/// Figures 10 and 11: self-relative parallel speedup. This container has a
+/// single core, so wall-clock speedup cannot exceed ~1×; the run exercises
+/// the full multi-threaded code paths and reports the (machine-independent)
+/// determinism of the outputs alongside the timings. See EXPERIMENTS.md.
+fn fig10_fig11(side: Side) {
+    header(&format!(
+        "Figure {}: parallel speedup peeling {side} (single-core container: see EXPERIMENTS.md)",
+        if side == Side::U { 10 } else { 11 }
+    ));
+    let threads = [1usize, 2, 4];
+    print!("{:<5}", "data");
+    for t in threads {
+        print!(" {:>10}", format!("T={t}"));
+    }
+    println!("   (speedup vs T=1)");
+    for spec in bigraph::datasets::all() {
+        let w = workload_by_label(&format!("{}{}", spec.name, side.suffix())).unwrap();
+        let mut base = 0.0f64;
+        print!("{:<5}", w.label());
+        let mut tips1: Option<Vec<u64>> = None;
+        for t in threads {
+            let d = run_receipt(&w, &Config::default().with_threads(t));
+            let secs = d.metrics.time_total().as_secs_f64();
+            if t == 1 {
+                base = secs;
+                tips1 = Some(d.tip);
+            } else {
+                assert_eq!(
+                    tips1.as_ref().unwrap(),
+                    &d.tip,
+                    "{}: tips changed with T={t}",
+                    w.label()
+                );
+            }
+            print!(" {:>10.2}", base / secs.max(1e-12));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,4 @@
+//! Shared plumbing for the experiment harness (see `src/bin/repro.rs` and
+//! the criterion benches under `benches/`).
+
+pub mod runner;

@@ -1,0 +1,102 @@
+//! Shared experiment plumbing: dataset instantiation, algorithm runners,
+//! and row formatting for the `repro` harness.
+
+use bigraph::{datasets::AnalogSpec, BipartiteCsr, Side};
+use receipt::{bup::BaselineResult, Config, TipDecomposition};
+use std::time::Duration;
+
+/// A dataset instantiated for one peeled side (the paper's `ItU`, `ItV`, …
+/// naming).
+pub struct Workload {
+    pub spec: AnalogSpec,
+    pub side: Side,
+    pub graph: BipartiteCsr,
+}
+
+impl Workload {
+    pub fn label(&self) -> String {
+        format!("{}{}", self.spec.name, self.side.suffix())
+    }
+}
+
+/// Instantiates every analog × side pair, in Table 2/3 order.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    for spec in bigraph::datasets::all() {
+        let graph = spec.generate();
+        for side in [Side::U, Side::V] {
+            out.push(Workload {
+                spec,
+                side,
+                graph: graph.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Instantiates a single named workload, e.g. `TrU` or `it v`.
+pub fn workload_by_label(label: &str) -> Option<Workload> {
+    let label = label.trim();
+    if label.len() < 3 {
+        return None;
+    }
+    let (name, side) = label.split_at(label.len() - 1);
+    let side = match side.chars().next()?.to_ascii_uppercase() {
+        'U' => Side::U,
+        'V' => Side::V,
+        _ => return None,
+    };
+    let spec = bigraph::datasets::by_name(name.trim())?;
+    Some(Workload {
+        spec,
+        side,
+        graph: spec.generate(),
+    })
+}
+
+/// One Table 3 style measurement of RECEIPT on a workload.
+pub fn run_receipt(w: &Workload, config: &Config) -> TipDecomposition {
+    receipt::tip_decompose(&w.graph, w.side, config)
+}
+
+pub fn run_bup(w: &Workload) -> BaselineResult {
+    receipt::bup::bup_decompose(&w.graph, w.side, 4)
+}
+
+pub fn run_parb(w: &Workload) -> BaselineResult {
+    receipt::parb::parb_decompose(&w.graph, w.side, 4)
+}
+
+/// Seconds with 3 decimals, matching the paper's `t(s)` column.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Billions (the paper reports wedges in billions); here workloads are
+/// laptop-scale so we print millions.
+pub fn millions(x: u64) -> String {
+    format!("{:.2}", x as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_labels() {
+        let w = workload_by_label("ItU").unwrap();
+        assert_eq!(w.label(), "ItU");
+        assert_eq!(w.side, Side::U);
+        assert!(workload_by_label("XxU").is_none());
+        assert!(workload_by_label("U").is_none());
+        let w = workload_by_label("tr v").unwrap();
+        assert_eq!(w.label(), "TrV");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+        assert_eq!(millions(2_500_000), "2.50");
+    }
+}

@@ -1,0 +1,400 @@
+//! Seeded synthetic bipartite-graph generators.
+//!
+//! The paper evaluates on six KONECT datasets that are not redistributable
+//! here, so [`crate::datasets`] instantiates shape-matched analogs from
+//! these generators. All generators take an explicit seed and are fully
+//! deterministic.
+
+use crate::builder::GraphBuilder;
+use crate::csr::BipartiteCsr;
+use crate::VertexId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Uniform random bipartite graph: `m` distinct edges sampled uniformly
+/// from `U × V` (clamped to the number of possible edges).
+pub fn uniform(nu: usize, nv: usize, m: usize, seed: u64) -> BipartiteCsr {
+    assert!(nu > 0 && nv > 0, "uniform generator needs non-empty sides");
+    let possible = nu.saturating_mul(nv);
+    let m = m.min(possible);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m * 2);
+    // Rejection sampling is fine while m is well below nu*nv; fall back to
+    // dense enumeration when the graph is nearly complete.
+    if m * 2 > possible {
+        let mut all: Vec<(VertexId, VertexId)> = (0..nu as VertexId)
+            .flat_map(|u| (0..nv as VertexId).map(move |v| (u, v)))
+            .collect();
+        all.shuffle(&mut rng);
+        all.truncate(m);
+        return GraphBuilder::new(nu, nv).add_edges(all).build().unwrap();
+    }
+    while seen.len() < m {
+        let u = rng.random_range(0..nu) as VertexId;
+        let v = rng.random_range(0..nv) as VertexId;
+        seen.insert((u, v));
+    }
+    GraphBuilder::new(nu, nv).add_edges(seen).build().unwrap()
+}
+
+/// Builds a degree sequence of length `n` summing to (approximately) `m`,
+/// proportional to the Zipf weights `(i+1)^{-alpha}` and capped at
+/// `max_deg`. `alpha = 0` gives a uniform sequence; larger `alpha` gives a
+/// heavier head. The returned sequence is sorted descending.
+pub fn zipf_degree_sequence(n: usize, m: usize, alpha: f64, max_deg: usize) -> Vec<usize> {
+    assert!(n > 0, "degree sequence needs n > 0");
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut degs: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * m as f64).round() as usize)
+        .map(|d| d.clamp(1, max_deg))
+        .collect();
+    // Fix the sum to exactly m by distributing the remainder over the tail
+    // (or trimming the head), without violating the cap / the >= 0 floor.
+    let mut sum: usize = degs.iter().sum();
+    let mut i = 0usize;
+    while sum < m {
+        if degs[i % n] < max_deg {
+            degs[i % n] += 1;
+            sum += 1;
+        }
+        i += 1;
+        if i > 4 * n * (max_deg + 1) {
+            break; // cap too tight to reach m; return best effort
+        }
+    }
+    let mut i = 0usize;
+    while sum > m {
+        if degs[i % n] > 0 {
+            degs[i % n] -= 1;
+            sum -= 1;
+        }
+        i += 1;
+    }
+    degs.sort_unstable_by(|a, b| b.cmp(a));
+    degs
+}
+
+/// Zipf configuration model: draws degree sequences for both sides
+/// (`alpha_u`, `alpha_v` skews), materializes stubs, shuffles, and pairs
+/// them. Multi-edges created by the matching are merged, so the final edge
+/// count is slightly below `m` for skewed graphs — exactly like simplifying
+/// a real multigraph trace.
+///
+/// ```
+/// let g = bigraph::gen::zipf(100, 50, 600, 0.4, 1.0, 7);
+/// assert_eq!(g.num_u(), 100);
+/// assert!(g.num_edges() <= 600);
+/// // Seeded: regenerating gives the identical graph.
+/// assert_eq!(g, bigraph::gen::zipf(100, 50, 600, 0.4, 1.0, 7));
+/// ```
+pub fn zipf(
+    nu: usize,
+    nv: usize,
+    m: usize,
+    alpha_u: f64,
+    alpha_v: f64,
+    seed: u64,
+) -> BipartiteCsr {
+    let du = zipf_degree_sequence(nu, m, alpha_u, nv.max(1));
+    let dv = zipf_degree_sequence(nv, m, alpha_v, nu.max(1));
+    let mu: usize = du.iter().sum();
+    let mv: usize = dv.iter().sum();
+    let m = mu.min(mv);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut stubs_u: Vec<VertexId> = Vec::with_capacity(mu);
+    for (u, &d) in du.iter().enumerate() {
+        stubs_u.extend(std::iter::repeat_n(u as VertexId, d));
+    }
+    let mut stubs_v: Vec<VertexId> = Vec::with_capacity(mv);
+    for (v, &d) in dv.iter().enumerate() {
+        stubs_v.extend(std::iter::repeat_n(v as VertexId, d));
+    }
+    stubs_u.shuffle(&mut rng);
+    stubs_v.shuffle(&mut rng);
+
+    GraphBuilder::new(nu, nv)
+        .add_edges(stubs_u.into_iter().zip(stubs_v).take(m))
+        .build()
+        .unwrap()
+}
+
+/// Plants `blocks` complete bipartite blocks of size `block_u × block_v`
+/// (disjoint vertex ranges) and sprinkles `noise_m` uniform edges on top.
+/// Each block is a `C(block_u, 2) · C(block_v, 2)`-butterfly community —
+/// the spam-reviewer / affiliation-group structure tip decomposition is
+/// designed to surface.
+pub fn planted_bicliques(
+    nu: usize,
+    nv: usize,
+    blocks: usize,
+    block_u: usize,
+    block_v: usize,
+    noise_m: usize,
+    seed: u64,
+) -> BipartiteCsr {
+    assert!(
+        blocks * block_u <= nu && blocks * block_v <= nv,
+        "blocks must fit in the vertex sets"
+    );
+    let mut b = GraphBuilder::new(nu, nv);
+    for blk in 0..blocks {
+        let u0 = (blk * block_u) as VertexId;
+        let v0 = (blk * block_v) as VertexId;
+        for du in 0..block_u as VertexId {
+            for dv in 0..block_v as VertexId {
+                b = b.add_edge(u0 + du, v0 + dv);
+            }
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(noise_m);
+    for _ in 0..noise_m {
+        edges.push((
+            rng.random_range(0..nu) as VertexId,
+            rng.random_range(0..nv) as VertexId,
+        ));
+    }
+    b.add_edges(edges).build().unwrap()
+}
+
+/// Affiliation model: `communities` groups, each owning a Zipf-sized set of
+/// secondary vertices; every primary vertex joins `memberships` communities
+/// (picked with preferential popularity) and links every member. Produces
+/// the overlapping-community structure of social-network membership graphs
+/// (Orkut/LiveJournal in the paper).
+pub fn affiliation(
+    nu: usize,
+    nv: usize,
+    communities: usize,
+    memberships: usize,
+    community_alpha: f64,
+    seed: u64,
+) -> BipartiteCsr {
+    assert!(communities > 0 && nv > 0 && nu > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Community c owns a contiguous window of V with Zipf size.
+    let sizes = zipf_degree_sequence(communities, nv * 2, community_alpha, nv.max(4) / 2);
+    let windows: Vec<(usize, usize)> = sizes
+        .iter()
+        .map(|&s| {
+            let s = s.clamp(2, nv);
+            let start = rng.random_range(0..=(nv - s));
+            (start, start + s)
+        })
+        .collect();
+    let mut b = GraphBuilder::new(nu, nv);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for u in 0..nu as VertexId {
+        for _ in 0..memberships {
+            // Popularity ∝ Zipf over community index.
+            let c = zipf_index(communities, community_alpha, &mut rng);
+            let (lo, hi) = windows[c];
+            // Join a random slice of the community, at least 2 members so
+            // co-members form butterflies.
+            let span = hi - lo;
+            let take = rng.random_range(2..=span.max(2)).min(span);
+            let start = lo + rng.random_range(0..=(span - take));
+            for v in start..start + take {
+                edges.push((u, v as VertexId));
+            }
+        }
+    }
+    b = b.add_edges(edges);
+    b.build().unwrap()
+}
+
+/// Bipartite preferential attachment: primary vertices arrive one at a
+/// time and attach `edges_per_u` edges; each endpoint is an existing
+/// secondary vertex chosen proportionally to its current degree + 1
+/// (smoothing), which yields the scale-free secondary side observed in
+/// real affiliation data. Deterministic for a fixed seed.
+pub fn preferential_attachment(
+    nu: usize,
+    nv: usize,
+    edges_per_u: usize,
+    seed: u64,
+) -> BipartiteCsr {
+    assert!(nu > 0 && nv > 0 && edges_per_u > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportional to degree+1 (every v is seeded once).
+    let mut endpoints: Vec<VertexId> = (0..nv as VertexId).collect();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(nu * edges_per_u);
+    for u in 0..nu as VertexId {
+        for _ in 0..edges_per_u.min(nv) {
+            let v = endpoints[rng.random_range(0..endpoints.len())];
+            edges.push((u, v));
+            endpoints.push(v);
+        }
+    }
+    GraphBuilder::new(nu, nv).add_edges(edges).build().unwrap()
+}
+
+/// Samples an index in `0..n` with probability ∝ `(i+1)^{-alpha}` using
+/// inverse-CDF on precomputed-free approximation (rejection against the
+/// continuous envelope). Cheap and good enough for workload shaping.
+fn zipf_index(n: usize, alpha: f64, rng: &mut SmallRng) -> usize {
+    if alpha <= 1e-9 {
+        return rng.random_range(0..n);
+    }
+    // Inverse transform on the continuous density x^{-alpha} over [1, n+1].
+    let a = 1.0 - alpha;
+    loop {
+        let u: f64 = rng.random();
+        let x = if a.abs() < 1e-9 {
+            ((n as f64 + 1.0).ln() * u).exp()
+        } else {
+            ((((n as f64 + 1.0).powf(a) - 1.0) * u) + 1.0).powf(1.0 / a)
+        };
+        let idx = (x.floor() as usize).saturating_sub(1);
+        if idx < n {
+            return idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Side;
+
+    #[test]
+    fn uniform_respects_parameters() {
+        let g = uniform(50, 40, 300, 7);
+        assert_eq!(g.num_u(), 50);
+        assert_eq!(g.num_v(), 40);
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn uniform_is_deterministic() {
+        let a = uniform(30, 30, 100, 42);
+        let b = uniform(30, 30, 100, 42);
+        assert_eq!(a, b);
+        let c = uniform(30, 30, 100, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_clamps_to_complete() {
+        let g = uniform(4, 4, 1000, 1);
+        assert_eq!(g.num_edges(), 16);
+    }
+
+    #[test]
+    fn uniform_dense_path() {
+        // m*2 > nu*nv triggers the enumeration path.
+        let g = uniform(6, 6, 30, 5);
+        assert_eq!(g.num_edges(), 30);
+    }
+
+    #[test]
+    fn zipf_degree_sequence_sums_to_m() {
+        let d = zipf_degree_sequence(100, 5000, 1.1, 1000);
+        assert_eq!(d.iter().sum::<usize>(), 5000);
+        assert!(d.windows(2).all(|w| w[0] >= w[1]), "sorted descending");
+        assert!(d[0] > d[99], "skewed head");
+    }
+
+    #[test]
+    fn zipf_degree_sequence_respects_cap() {
+        let d = zipf_degree_sequence(10, 1000, 2.0, 50);
+        assert!(d.iter().all(|&x| x <= 50));
+    }
+
+    #[test]
+    fn zipf_graph_shape() {
+        let g = zipf(200, 100, 2000, 0.3, 1.0, 11);
+        assert_eq!(g.num_u(), 200);
+        assert_eq!(g.num_v(), 100);
+        // Dedup can only shrink.
+        assert!(g.num_edges() <= 2000);
+        assert!(g.num_edges() > 1000, "most edges survive dedup");
+        // V side should be visibly skewed.
+        let dmax = crate::stats::max_primary_degree(g.view(Side::V));
+        assert!(dmax as f64 > 2.0 * g.num_edges() as f64 / 100.0);
+    }
+
+    #[test]
+    fn zipf_is_deterministic() {
+        assert_eq!(zipf(50, 50, 400, 0.5, 0.5, 3), zipf(50, 50, 400, 0.5, 0.5, 3));
+    }
+
+    #[test]
+    fn planted_blocks_have_expected_edges() {
+        let g = planted_bicliques(20, 20, 2, 4, 5, 0, 9);
+        assert_eq!(g.num_edges(), 2 * 4 * 5);
+        // Block members see the full other block.
+        assert_eq!(g.deg_u(0), 5);
+        assert_eq!(g.deg_u(4), 5); // second block starts at u4
+        assert_eq!(g.neighbors_u(4), &[5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn planted_noise_adds_edges() {
+        let clean = planted_bicliques(40, 40, 2, 3, 3, 0, 5);
+        let noisy = planted_bicliques(40, 40, 2, 3, 3, 200, 5);
+        assert!(noisy.num_edges() > clean.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks must fit")]
+    fn planted_rejects_oversized_blocks() {
+        planted_bicliques(5, 5, 2, 4, 4, 0, 1);
+    }
+
+    #[test]
+    fn affiliation_generates_butterfly_rich_graph() {
+        let g = affiliation(60, 40, 8, 2, 0.8, 21);
+        assert!(g.num_edges() > 60, "every u joins communities");
+        // Co-membership should create wedges on the U side.
+        let wedges = crate::stats::total_primary_wedges(g.view(Side::U));
+        assert!(wedges > 0);
+    }
+
+    #[test]
+    fn preferential_attachment_is_scale_free_ish() {
+        let g = preferential_attachment(500, 200, 4, 17);
+        assert_eq!(g.num_u(), 500);
+        // Dedup may merge repeated picks.
+        assert!(g.num_edges() <= 2000);
+        assert!(g.num_edges() > 1500);
+        // Rich-get-richer: the max secondary degree far exceeds the mean.
+        let mean = g.num_edges() as f64 / 200.0;
+        let dmax = crate::stats::max_primary_degree(g.view(Side::V));
+        assert!(
+            dmax as f64 > 3.0 * mean,
+            "dmax {dmax} should dwarf mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_deterministic() {
+        assert_eq!(
+            preferential_attachment(50, 20, 3, 5),
+            preferential_attachment(50, 20, 3, 5)
+        );
+    }
+
+    #[test]
+    fn zipf_index_in_range_and_skewed() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..5000 {
+            counts[zipf_index(10, 1.2, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9], "head heavier than tail");
+        assert_eq!(counts.iter().sum::<usize>(), 5000);
+        // alpha = 0 → uniform-ish.
+        let mut c0 = vec![0usize; 4];
+        for _ in 0..4000 {
+            c0[zipf_index(4, 0.0, &mut rng)] += 1;
+        }
+        assert!(c0.iter().all(|&c| c > 500));
+    }
+}

@@ -1,0 +1,178 @@
+//! Subgraphs induced on a subset of the primary side.
+//!
+//! RECEIPT FD (Algorithm 4 line 5) peels each vertex subset `U_i` on the
+//! subgraph `G_i` induced by `W_i = (U_i, V)`. Every butterfly between two
+//! `U_i` vertices survives induction (both of its V-vertices are kept), so
+//! peeling `G_i` yields exactly the same support updates within `U_i` as
+//! peeling the full graph would — that is what makes the subsets
+//! independent. Secondary vertices without any surviving edge are dropped
+//! and both sides are reindexed to keep the subgraph dense.
+
+use crate::csr::{BipartiteCsr, Side, SideGraph};
+use crate::VertexId;
+
+/// A reindexed induced subgraph plus the maps back to global ids.
+///
+/// Inside the subgraph, the induced subset always plays the `U` role
+/// (primary), regardless of which side it came from globally.
+#[derive(Debug, Clone)]
+pub struct InducedGraph {
+    csr: BipartiteCsr,
+    primary_global: Vec<VertexId>,
+    secondary_global: Vec<VertexId>,
+}
+
+impl InducedGraph {
+    /// Induces on `subset ⊆ primary(view)`, keeping all secondary vertices
+    /// reachable in one hop. `subset` must not contain duplicates.
+    pub fn new(view: SideGraph<'_>, subset: &[VertexId]) -> InducedGraph {
+        let mut secondary_local = vec![VertexId::MAX; view.num_secondary()];
+        let mut secondary_global: Vec<VertexId> = Vec::new();
+        let mut edges: Vec<(VertexId, VertexId)> =
+            Vec::with_capacity(subset.iter().map(|&p| view.deg_primary(p)).sum());
+
+        for (local_p, &p) in subset.iter().enumerate() {
+            for &s in view.neighbors_primary(p) {
+                let slot = &mut secondary_local[s as usize];
+                if *slot == VertexId::MAX {
+                    *slot = secondary_global.len() as VertexId;
+                    secondary_global.push(s);
+                }
+                edges.push((local_p as VertexId, *slot));
+            }
+        }
+
+        let csr = crate::builder::from_edges(subset.len(), secondary_global.len(), &edges)
+            .expect("induced edges are in range by construction");
+        InducedGraph {
+            csr,
+            primary_global: subset.to_vec(),
+            secondary_global,
+        }
+    }
+
+    /// The induced graph; the subset is its `U` side.
+    pub fn csr(&self) -> &BipartiteCsr {
+        &self.csr
+    }
+
+    /// View with the induced subset as primary.
+    pub fn view(&self) -> SideGraph<'_> {
+        self.csr.view(Side::U)
+    }
+
+    /// Global id of induced primary vertex `local`.
+    #[inline]
+    pub fn primary_global(&self, local: VertexId) -> VertexId {
+        self.primary_global[local as usize]
+    }
+
+    /// Global id of induced secondary vertex `local`.
+    #[inline]
+    pub fn secondary_global(&self, local: VertexId) -> VertexId {
+        self.secondary_global[local as usize]
+    }
+
+    pub fn num_primary(&self) -> usize {
+        self.primary_global.len()
+    }
+
+    pub fn num_secondary(&self) -> usize {
+        self.secondary_global.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    /// Two butterflies: {u0,u1}×{v0,v1} and {u2,u3}×{v2,v3}, bridged by
+    /// edge (u1, v2).
+    fn two_blocks() -> BipartiteCsr {
+        from_edges(
+            4,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 2),
+                (2, 3),
+                (3, 2),
+                (3, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn induces_on_u_subset() {
+        let g = two_blocks();
+        let ind = InducedGraph::new(g.view(Side::U), &[0, 1]);
+        assert_eq!(ind.num_primary(), 2);
+        // v0, v1, v2 are reachable from {u0, u1}; v3 is dropped.
+        assert_eq!(ind.num_secondary(), 3);
+        assert_eq!(ind.num_edges(), 5);
+        // Round-trip the maps.
+        for local in 0..2u32 {
+            assert_eq!(ind.primary_global(local), local);
+        }
+        let secs: Vec<u32> = (0..3).map(|s| ind.secondary_global(s)).collect();
+        let mut sorted = secs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn butterflies_within_subset_survive() {
+        let g = two_blocks();
+        let ind = InducedGraph::new(g.view(Side::U), &[2, 3]);
+        // The {u2,u3}×{v2,v3} butterfly must be intact: both local vertices
+        // share two secondary neighbours.
+        assert_eq!(ind.num_edges(), 4);
+        let v = ind.view();
+        assert_eq!(v.deg_primary(0), 2);
+        assert_eq!(v.deg_primary(1), 2);
+        assert_eq!(
+            v.neighbors_primary(0),
+            v.neighbors_primary(1),
+            "both subset vertices see the same two secondary vertices"
+        );
+    }
+
+    #[test]
+    fn induce_from_v_side() {
+        let g = two_blocks();
+        let ind = InducedGraph::new(g.view(Side::V), &[0, 1]);
+        // v0, v1 connect to u0, u1 only.
+        assert_eq!(ind.num_primary(), 2);
+        assert_eq!(ind.num_secondary(), 2);
+        assert_eq!(ind.num_edges(), 4);
+        assert_eq!(ind.primary_global(0), 0);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let g = two_blocks();
+        let ind = InducedGraph::new(g.view(Side::U), &[]);
+        assert_eq!(ind.num_primary(), 0);
+        assert_eq!(ind.num_secondary(), 0);
+        assert_eq!(ind.num_edges(), 0);
+    }
+
+    #[test]
+    fn subset_with_isolated_vertex() {
+        let g = from_edges(3, 2, &[(0, 0), (0, 1)]).unwrap();
+        let ind = InducedGraph::new(g.view(Side::U), &[1, 2]);
+        assert_eq!(ind.num_primary(), 2);
+        assert_eq!(ind.num_secondary(), 0);
+        assert_eq!(ind.num_edges(), 0);
+    }
+}

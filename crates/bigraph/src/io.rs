@@ -1,0 +1,182 @@
+//! KONECT-style edge-list I/O.
+//!
+//! The paper's datasets come from the KONECT collection, distributed as
+//! whitespace-separated edge lists with `%` comment headers and optional
+//! trailing weight/timestamp columns. This reader accepts that format
+//! (ignoring extra columns), auto-detects 1-based ids, and sizes the sides
+//! from the maximum observed id unless explicit sizes are given.
+
+use crate::builder::GraphBuilder;
+use crate::csr::BipartiteCsr;
+use crate::VertexId;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// I/O or parse failure while reading an edge list.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Parse { line: usize, content: String },
+    Build(crate::builder::BuildError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "parse error on line {line}: {content:?}")
+            }
+            IoError::Build(e) => write!(f, "build error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads `(u, v)` pairs from a KONECT-style listing. Lines starting with
+/// `%` or `#` (and blank lines) are skipped; columns beyond the first two
+/// are ignored. If every id is ≥ 1 the whole file is treated as 1-based and
+/// shifted down (KONECT convention).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId)>, IoError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut min_id = VertexId::MAX;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
+            continue;
+        }
+        let mut cols = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<VertexId> { s?.parse().ok() };
+        match (parse(cols.next()), parse(cols.next())) {
+            (Some(u), Some(v)) => {
+                min_id = min_id.min(u).min(v);
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(IoError::Parse {
+                    line: idx + 1,
+                    content: t.to_string(),
+                })
+            }
+        }
+    }
+    if !edges.is_empty() && min_id >= 1 {
+        for e in &mut edges {
+            e.0 -= 1;
+            e.1 -= 1;
+        }
+    }
+    Ok(edges)
+}
+
+/// Reads an edge list into a graph, sizing each side from the maximum id.
+pub fn read_graph<R: Read>(reader: R) -> Result<BipartiteCsr, IoError> {
+    let edges = read_edge_list(reader)?;
+    let nu = edges.iter().map(|&(u, _)| u as usize + 1).max().unwrap_or(0);
+    let nv = edges.iter().map(|&(_, v)| v as usize + 1).max().unwrap_or(0);
+    GraphBuilder::new(nu, nv)
+        .add_edges(edges)
+        .build()
+        .map_err(IoError::Build)
+}
+
+/// Reads a graph from a file path.
+pub fn read_graph_path(path: impl AsRef<Path>) -> Result<BipartiteCsr, IoError> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+/// Writes a graph as a 0-based edge list with a `%` header.
+pub fn write_graph<W: Write>(g: &BipartiteCsr, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "% bip unweighted")?;
+    writeln!(w, "% {} {} {}", g.num_edges(), g.num_u(), g.num_v())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes a graph to a file path.
+pub fn write_graph_path(g: &BipartiteCsr, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_graph(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn parses_comments_and_extra_columns() {
+        let text = "% bip\n# another comment\n\n1 2 5.0 1234\n2 1\n3 3\n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        // 1-based detected and shifted.
+        assert_eq!(edges, vec![(0, 1), (1, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn zero_based_kept_as_is() {
+        let edges = read_edge_list("0 5\n3 0\n".as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 5), (3, 0)]);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let err = read_edge_list("1 2\nbogus\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "bogus");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = read_edge_list("7\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_graph("% nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_u(), 0);
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = from_edges(3, 4, &[(0, 0), (1, 3), (2, 1), (2, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        // Sides are sized by max id, so trailing isolated vertices may be
+        // trimmed, but edges are identical.
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = g2.edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let dir = std::env::temp_dir().join("bigraph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.tsv");
+        write_graph_path(&g, &path).unwrap();
+        let g2 = read_graph_path(&path).unwrap();
+        assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn duplicate_edges_merged_on_read() {
+        let g = read_graph("1 1\n1 1\n2 2\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Bipartite graph engine for the RECEIPT reproduction.
+//!
+//! A bipartite graph `G(W = (U, V), E)` is stored as a pair of CSR adjacency
+//! structures (one per side). All decomposition algorithms are written
+//! against [`SideGraph`], a zero-copy view that designates one side as the
+//! *primary* (peeled) vertex set — the paper decomposes either `U` or `V` of
+//! every dataset, and so do we.
+//!
+//! Modules:
+//! * [`csr`] — the core [`BipartiteCsr`] storage and [`SideGraph`] view.
+//! * [`builder`] — edge-list ingestion with deduplication and validation.
+//! * [`relabel`] — global degree-descending ranking with rank-sorted
+//!   adjacency (the cache-efficient reordering of Wang et al. that
+//!   Algorithm 1 of the paper relies on).
+//! * [`induced`] — subgraphs induced on a subset of the primary side
+//!   (RECEIPT FD peels each `G_i = G[U_i ∪ V]` independently).
+//! * [`compact`] — parallel edge compaction used by Dynamic Graph
+//!   Maintenance (§4.2).
+//! * [`gen`] — seeded synthetic generators (uniform, Zipf configuration
+//!   model, planted bicliques, affiliation model).
+//! * [`datasets`] — six named generator presets standing in for the KONECT
+//!   datasets of the paper's evaluation (see `DESIGN.md` §3).
+//! * [`io`] — KONECT-style whitespace edge-list reader/writer.
+//! * [`stats`] — wedge counts and the peel/re-count cost model behind the
+//!   HUC optimization (§4.1).
+
+pub mod builder;
+pub mod compact;
+pub mod csr;
+pub mod datasets;
+pub mod gen;
+pub mod induced;
+pub mod io;
+pub mod projection;
+pub mod relabel;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{BipartiteCsr, Side, SideGraph};
+pub use induced::InducedGraph;
+pub use relabel::RankedGraph;
+
+/// Side-local vertex identifier. Graphs in this workspace are bounded by
+/// `u32` per side (the paper's largest dataset has 27.7M primary vertices).
+pub type VertexId = u32;

@@ -1,0 +1,421 @@
+//! Implementation of the `tipdecomp` command-line tool.
+//!
+//! Lives in a library so the argument parsing and command execution are
+//! unit-testable; `main.rs` is a thin shim.
+
+use bigraph::{BipartiteCsr, Side};
+use receipt::{hierarchy, Config};
+use std::io::Write;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `tip <input> [--side U|V] [--partitions N] [--threads N]
+    /// [--no-huc] [--no-dgm] [--output FILE] [--stats]`
+    Tip {
+        input: String,
+        side: Side,
+        config: Config,
+        output: Option<String>,
+        stats: bool,
+    },
+    /// `wing <input> [--side U|V] [--partitions N] [--output FILE]`
+    Wing {
+        input: String,
+        side: Side,
+        partitions: usize,
+        output: Option<String>,
+    },
+    /// `count <input> [--output FILE]`
+    Count { input: String, output: Option<String> },
+    /// `ktips <input> -k N [--side U|V]`
+    KTips { input: String, side: Side, k: u64 },
+    /// `stats <input>`
+    Stats { input: String },
+    /// `generate <preset> [--output FILE]` — emit a dataset analog.
+    Generate { preset: String, output: Option<String> },
+    Help,
+}
+
+/// Argument-parsing failure with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+pub const USAGE: &str = "\
+tipdecomp — tip/wing decomposition of bipartite graphs (RECEIPT, VLDB 2020)
+
+USAGE:
+  tipdecomp tip <edges.tsv>   [--side U|V] [--partitions N] [--threads N]
+                              [--no-huc] [--no-dgm] [--output FILE] [--stats]
+  tipdecomp wing <edges.tsv>  [--side U|V] [--partitions N] [--output FILE]
+  tipdecomp count <edges.tsv> [--output FILE]
+  tipdecomp ktips <edges.tsv> -k N [--side U|V]
+  tipdecomp stats <edges.tsv>
+  tipdecomp generate <It|De|Or|Lj|En|Tr> [--output FILE]
+
+Input: whitespace-separated `u v` pairs; `%`/`#` comments ignored;
+1-based ids auto-detected (KONECT format).
+";
+
+/// Parses `args` (without the binary name).
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let rest: Vec<&String> = it.collect();
+    let positional = |rest: &[&String]| -> Result<String, UsageError> {
+        rest.first()
+            .filter(|s| !s.starts_with('-'))
+            .map(|s| s.to_string())
+            .ok_or_else(|| UsageError(format!("`{cmd}` needs an input file")))
+    };
+    let flag = |name: &str| rest.iter().any(|a| a.as_str() == name);
+    let opt = |name: &str| -> Option<&String> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .copied()
+    };
+    let opt_usize = |name: &str, default: usize| -> Result<usize, UsageError> {
+        match opt(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| UsageError(format!("{name} expects an integer, got {s:?}"))),
+        }
+    };
+    let side = match opt("--side").map(|s| s.to_ascii_uppercase()) {
+        None => Side::U,
+        Some(s) if s == "U" => Side::U,
+        Some(s) if s == "V" => Side::V,
+        Some(s) => return Err(UsageError(format!("--side expects U or V, got {s:?}"))),
+    };
+
+    match cmd.as_str() {
+        "tip" => {
+            let mut config = Config::default();
+            config.partitions = opt_usize("--partitions", config.partitions)?;
+            config.threads = opt_usize("--threads", 0)?;
+            config.huc = !flag("--no-huc");
+            config.dgm = !flag("--no-dgm");
+            Ok(Command::Tip {
+                input: positional(&rest)?,
+                side,
+                config,
+                output: opt("--output").cloned(),
+                stats: flag("--stats"),
+            })
+        }
+        "wing" => Ok(Command::Wing {
+            input: positional(&rest)?,
+            side,
+            partitions: opt_usize("--partitions", 0)?,
+            output: opt("--output").cloned(),
+        }),
+        "count" => Ok(Command::Count {
+            input: positional(&rest)?,
+            output: opt("--output").cloned(),
+        }),
+        "ktips" => {
+            let k = opt("-k")
+                .ok_or_else(|| UsageError("ktips needs -k N".into()))?
+                .parse()
+                .map_err(|_| UsageError("-k expects an integer".into()))?;
+            Ok(Command::KTips {
+                input: positional(&rest)?,
+                side,
+                k,
+            })
+        }
+        "stats" => Ok(Command::Stats {
+            input: positional(&rest)?,
+        }),
+        "generate" => Ok(Command::Generate {
+            preset: positional(&rest)?,
+            output: opt("--output").cloned(),
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(UsageError(format!("unknown command {other:?}"))),
+    }
+}
+
+fn load(input: &str) -> Result<BipartiteCsr, String> {
+    bigraph::io::read_graph_path(input).map_err(|e| format!("failed to read {input}: {e}"))
+}
+
+fn sink(output: &Option<String>) -> Result<Box<dyn Write>, String> {
+    match output {
+        None => Ok(Box::new(std::io::stdout().lock())),
+        Some(path) => std::fs::File::create(path)
+            .map(|f| Box::new(std::io::BufWriter::new(f)) as Box<dyn Write>)
+            .map_err(|e| format!("cannot create {path}: {e}")),
+    }
+}
+
+/// Executes a parsed command. Returns the process exit code.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Tip {
+            input,
+            side,
+            config,
+            output,
+            stats,
+        } => {
+            let g = load(&input)?;
+            let d = receipt::tip_decompose(&g, side, &config);
+            let mut out = sink(&output)?;
+            writeln!(out, "# vertex\ttip_number").map_err(|e| e.to_string())?;
+            for (u, t) in d.tip.iter().enumerate() {
+                writeln!(out, "{u}\t{t}").map_err(|e| e.to_string())?;
+            }
+            if stats {
+                let m = &d.metrics;
+                eprintln!(
+                    "theta_max={} wedges={} (count {}, cd {}, fd {}) rounds={} \
+                     recounts={} compactions={} partitions={} time={:.3}s",
+                    d.theta_max(),
+                    m.wedges_total(),
+                    m.wedges_count,
+                    m.wedges_cd,
+                    m.wedges_fd,
+                    m.sync_rounds,
+                    m.recounts,
+                    m.compactions,
+                    m.partitions_used,
+                    m.time_total().as_secs_f64()
+                );
+            }
+            Ok(())
+        }
+        Command::Wing {
+            input,
+            side,
+            partitions,
+            output,
+        } => {
+            let g = load(&input)?;
+            let view = g.view(side);
+            let d = if partitions > 0 {
+                receipt::wing_parallel::receipt_wing_decompose(view, partitions, 4).0
+            } else {
+                receipt::wing::wing_decompose(view, 4)
+            };
+            let mut out = sink(&output)?;
+            writeln!(out, "# u\tv\twing_number").map_err(|e| e.to_string())?;
+            for (e, &(u, v)) in d.edges.iter().enumerate() {
+                writeln!(out, "{u}\t{v}\t{}", d.wing[e]).map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        Command::Count { input, output } => {
+            let g = load(&input)?;
+            let c = butterfly::par_count_graph(&g);
+            let mut out = sink(&output)?;
+            writeln!(out, "# side\tvertex\tbutterflies").map_err(|e| e.to_string())?;
+            for (u, b) in c.u.iter().enumerate() {
+                writeln!(out, "U\t{u}\t{b}").map_err(|e| e.to_string())?;
+            }
+            for (v, b) in c.v.iter().enumerate() {
+                writeln!(out, "V\t{v}\t{b}").map_err(|e| e.to_string())?;
+            }
+            eprintln!("total butterflies: {}", c.total());
+            Ok(())
+        }
+        Command::KTips { input, side, k } => {
+            let g = load(&input)?;
+            let d = receipt::tip_decompose(&g, side, &Config::default());
+            let comps = hierarchy::ktip_components(g.view(side), &d.tip, k);
+            println!("# {} {k}-tip component(s)", comps.len());
+            for (i, c) in comps.iter().enumerate() {
+                println!(
+                    "{i}\t{}\t{}",
+                    c.len(),
+                    c.iter()
+                        .map(|u| u.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+            }
+            Ok(())
+        }
+        Command::Stats { input } => {
+            let g = load(&input)?;
+            let vu = g.view(Side::U);
+            let vv = g.view(Side::V);
+            let c = butterfly::par_count_graph(&g);
+            println!("|U| = {}", g.num_u());
+            println!("|V| = {}", g.num_v());
+            println!("|E| = {}", g.num_edges());
+            println!(
+                "avg degree U/V = {:.2} / {:.2}",
+                bigraph::stats::avg_primary_degree(vu),
+                bigraph::stats::avg_primary_degree(vv)
+            );
+            println!("butterflies = {}", c.total());
+            println!(
+                "wedges (U endpoints) = {}",
+                bigraph::stats::total_primary_wedges(vu)
+            );
+            println!(
+                "wedges (V endpoints) = {}",
+                bigraph::stats::total_primary_wedges(vv)
+            );
+            Ok(())
+        }
+        Command::Generate { preset, output } => {
+            let spec = bigraph::datasets::by_name(&preset)
+                .ok_or_else(|| format!("unknown preset {preset:?} (It|De|Or|Lj|En|Tr)"))?;
+            let g = spec.generate();
+            match output {
+                None => bigraph::io::write_graph(&g, std::io::stdout().lock())
+                    .map_err(|e| e.to_string()),
+                Some(path) => {
+                    bigraph::io::write_graph_path(&g, &path).map_err(|e| e.to_string())?;
+                    eprintln!(
+                        "wrote {} ({} x {}, {} edges)",
+                        path,
+                        g.num_u(),
+                        g.num_v(),
+                        g.num_edges()
+                    );
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_tip_defaults() {
+        let cmd = parse(&sv(&["tip", "g.tsv"])).unwrap();
+        match cmd {
+            Command::Tip {
+                input,
+                side,
+                config,
+                output,
+                stats,
+            } => {
+                assert_eq!(input, "g.tsv");
+                assert_eq!(side, Side::U);
+                assert_eq!(config, Config::default());
+                assert!(output.is_none());
+                assert!(!stats);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_tip_flags() {
+        let cmd = parse(&sv(&[
+            "tip", "g.tsv", "--side", "v", "--partitions", "42", "--no-dgm", "--stats",
+            "--output", "out.tsv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Tip {
+                side,
+                config,
+                output,
+                stats,
+                ..
+            } => {
+                assert_eq!(side, Side::V);
+                assert_eq!(config.partitions, 42);
+                assert!(!config.dgm);
+                assert!(config.huc);
+                assert_eq!(output.as_deref(), Some("out.tsv"));
+                assert!(stats);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&sv(&["tip"])).is_err());
+        assert!(parse(&sv(&["tip", "--side"])).is_err());
+        assert!(parse(&sv(&["tip", "g.tsv", "--side", "X"])).is_err());
+        assert!(parse(&sv(&["ktips", "g.tsv"])).is_err());
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+        assert!(parse(&sv(&["tip", "g.tsv", "--partitions", "many"])).is_err());
+    }
+
+    #[test]
+    fn parse_help_and_empty() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn end_to_end_tip_roundtrip() {
+        // Generate, decompose, read back.
+        let dir = std::env::temp_dir().join("tipdecomp_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.tsv");
+        let out_path = dir.join("tips.tsv");
+        let g = bigraph::gen::planted_bicliques(10, 10, 1, 4, 4, 8, 3);
+        // Pin the last ids so read-back sizing (max observed id) matches.
+        let mut edges: Vec<(u32, u32)> = g.edges().collect();
+        edges.push((9, 9));
+        let g = bigraph::builder::from_edges(10, 10, &edges).unwrap();
+        bigraph::io::write_graph_path(&g, &graph_path).unwrap();
+
+        run(Command::Tip {
+            input: graph_path.to_string_lossy().into_owned(),
+            side: Side::U,
+            config: Config::default(),
+            output: Some(out_path.to_string_lossy().into_owned()),
+            stats: false,
+        })
+        .unwrap();
+
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let rows: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(rows.len(), 10);
+        // Block members (u0..u3) have tip number (4-1)*C(4,2) = 18 or more.
+        let first: u64 = rows[0].split('\t').nth(1).unwrap().parse().unwrap();
+        assert!(first >= 18, "block member tip = {first}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_missing_file_fails() {
+        let err = run(Command::Stats {
+            input: "/nonexistent/g.tsv".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("failed to read"));
+    }
+
+    #[test]
+    fn generate_unknown_preset_fails() {
+        let err = run(Command::Generate {
+            preset: "Zz".into(),
+            output: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown preset"));
+    }
+}

@@ -1,0 +1,16 @@
+//! `tipdecomp` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match receipt_cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", receipt_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = receipt_cli::run(cmd) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Black-box tests of the `tipdecomp` binary: spawn the real executable
+//! and check its stdout/stderr/exit codes end to end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tipdecomp"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tipdecomp_e2e_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small graph with a known decomposition: one butterfly + a pendant.
+fn write_fixture(dir: &PathBuf) -> PathBuf {
+    let path = dir.join("g.tsv");
+    std::fs::write(&path, "% fixture\n0 0\n0 1\n1 0\n1 1\n2 0\n").unwrap();
+    path
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // No args prints usage and succeeds.
+    let out = bin().output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn tip_pipeline_on_fixture() {
+    let dir = temp_dir("tip");
+    let graph = write_fixture(&dir);
+    let out = bin()
+        .args(["tip", graph.to_str().unwrap(), "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // u0 and u1 form the butterfly (tip 1), u2 is pendant (tip 0).
+    assert!(stdout.contains("0\t1"), "{stdout}");
+    assert!(stdout.contains("1\t1"), "{stdout}");
+    assert!(stdout.contains("2\t0"), "{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("theta_max=1"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_then_stats_round_trip() {
+    let dir = temp_dir("gen");
+    let path = dir.join("it.tsv");
+    let out = bin()
+        .args(["generate", "It", "--output", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin().args(["stats", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("|E| = 105493"), "{stdout}");
+    assert!(stdout.contains("butterflies"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wing_and_ktips_on_fixture() {
+    let dir = temp_dir("wing");
+    let graph = write_fixture(&dir);
+    let out = bin()
+        .args(["wing", graph.to_str().unwrap(), "--partitions", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Butterfly edges have wing 1; pendant edge (2,0) has wing 0.
+    assert!(stdout.contains("2\t0\t0"), "{stdout}");
+    assert!(stdout.contains("0\t0\t1"), "{stdout}");
+
+    let out = bin()
+        .args(["ktips", graph.to_str().unwrap(), "-k", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 1-tip component"), "{stdout}");
+    assert!(stdout.contains("0,1"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_exits_nonzero() {
+    let out = bin().args(["tip", "/no/such/file.tsv"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read"));
+}

@@ -1,0 +1,281 @@
+//! Julienne-style bucketing for ParB (Dhulipala et al. \[13\], used by
+//! ParButterfly \[54\] with 128 buckets).
+//!
+//! Maintains an *open range* of 128 consecutive support values as explicit
+//! buckets plus an overflow list for everything above. Insertions are lazy:
+//! a vertex may have stale entries at old support values; the consumer
+//! validates each popped entry against the current support (and claims it),
+//! so duplicates and stale values are skipped for free.
+
+/// A lazy bucket queue over dense vertex ids with `u64` priorities.
+#[derive(Debug)]
+pub struct BucketQueue {
+    num_open: usize,
+    /// Priorities in `[base, base + num_open)` live in `buckets`.
+    base: u64,
+    buckets: Vec<Vec<u32>>,
+    /// Entries with priority ≥ `base + num_open` at insertion time.
+    overflow: Vec<u32>,
+    /// Cursor into the open range (buckets below it are exhausted).
+    cursor: usize,
+}
+
+impl BucketQueue {
+    /// Builds the queue and inserts every id with its initial priority.
+    /// `num_open` is the paper's 128-bucket window.
+    pub fn new(num_open: usize, priorities: &[u64]) -> Self {
+        let num_open = num_open.max(1);
+        let base = priorities.iter().copied().min().unwrap_or(0);
+        let mut q = BucketQueue {
+            num_open,
+            base,
+            buckets: (0..num_open).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            cursor: 0,
+        };
+        for (id, &p) in priorities.iter().enumerate() {
+            q.insert(id as u32, p);
+        }
+        q
+    }
+
+    /// Registers (lazily) that `id` now has priority `p`.
+    pub fn insert(&mut self, id: u32, p: u64) {
+        if p < self.base + self.num_open as u64 {
+            // Priorities only decrease and never drop below the frontier,
+            // so p >= base always holds; guard anyway for robustness.
+            let slot = p.saturating_sub(self.base) as usize;
+            self.buckets[slot.min(self.num_open - 1)].push(id);
+        } else {
+            self.overflow.push(id);
+        }
+    }
+
+    /// Extracts the batch of ids with the minimum current priority.
+    ///
+    /// `claim(id)` must return `Some(priority)` *and mark the id taken* if
+    /// it is still live, or `None` if it was already claimed/peeled.
+    /// Entries whose claimed priority no longer matches their bucket are
+    /// re-inserted at the correct place instead of returned.
+    ///
+    /// `peek(id)` returns the current priority of a live id without
+    /// claiming (used to redistribute the overflow when the open window
+    /// moves).
+    pub fn pop_min_batch(
+        &mut self,
+        mut claim: impl FnMut(u32) -> Option<u64>,
+        mut peek: impl FnMut(u32) -> Option<u64>,
+    ) -> Option<(u64, Vec<u32>)> {
+        loop {
+            // Advance over exhausted buckets in the open window.
+            while self.cursor < self.num_open {
+                if self.buckets[self.cursor].is_empty() {
+                    self.cursor += 1;
+                    continue;
+                }
+                let value = self.base + self.cursor as u64;
+                let entries = std::mem::take(&mut self.buckets[self.cursor]);
+                let mut batch = Vec::new();
+                for id in entries {
+                    // Stale entries: either dead (claimed elsewhere) or the
+                    // priority moved; only exact matches belong here.
+                    match peek(id) {
+                        None => {}
+                        Some(p) if p == value && claim(id).is_some() => {
+                            batch.push(id);
+                        }
+                        Some(p) => {
+                            // Re-file at its true position (p > value can't
+                            // happen for decreasing priorities; p < value
+                            // can't happen either since value is the
+                            // frontier — but re-file defensively).
+                            self.insert(id, p);
+                        }
+                    }
+                }
+                if batch.is_empty() {
+                    // All entries were stale; keep scanning this bucket
+                    // index (re-files may have landed here).
+                    if self.buckets[self.cursor].is_empty() {
+                        self.cursor += 1;
+                    }
+                    continue;
+                }
+                return Some((value, batch));
+            }
+            // Open window exhausted; pull the next window from overflow.
+            if self.overflow.is_empty() {
+                return None;
+            }
+            let old = std::mem::take(&mut self.overflow);
+            let mut min_p = u64::MAX;
+            let mut live: Vec<(u32, u64)> = Vec::with_capacity(old.len());
+            for id in old {
+                if let Some(p) = peek(id) {
+                    min_p = min_p.min(p);
+                    live.push((id, p));
+                }
+            }
+            if live.is_empty() {
+                return None;
+            }
+            self.base = min_p;
+            self.cursor = 0;
+            for (id, p) in live {
+                self.insert(id, p);
+            }
+        }
+    }
+
+    /// Entries currently parked in overflow (diagnostics).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Drives the queue against a mutable priority map.
+    struct Sim {
+        pri: HashMap<u32, u64>,
+        claimed: Vec<u32>,
+    }
+
+    impl Sim {
+        fn new(pri: &[u64]) -> Self {
+            Sim {
+                pri: pri.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect(),
+                claimed: Vec::new(),
+            }
+        }
+        fn drain(&mut self, q: &mut BucketQueue) -> Vec<(u64, Vec<u32>)> {
+            let mut out = Vec::new();
+            loop {
+                let pri = self.pri.clone();
+                let claimed = std::cell::RefCell::new(Vec::new());
+                let got = q.pop_min_batch(
+                    |id| {
+                        if pri.contains_key(&id) && !claimed.borrow().contains(&id) {
+                            claimed.borrow_mut().push(id);
+                            pri.get(&id).copied()
+                        } else {
+                            None
+                        }
+                    },
+                    |id| {
+                        if claimed.borrow().contains(&id) {
+                            None
+                        } else {
+                            pri.get(&id).copied()
+                        }
+                    },
+                );
+                match got {
+                    None => break,
+                    Some((v, mut batch)) => {
+                        batch.sort_unstable();
+                        for &b in &batch {
+                            self.pri.remove(&b);
+                            self.claimed.push(b);
+                        }
+                        out.push((v, batch));
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn batches_come_out_in_priority_order() {
+        let pri = vec![5, 1, 5, 3, 1];
+        let mut q = BucketQueue::new(4, &pri);
+        let mut sim = Sim::new(&pri);
+        let batches = sim.drain(&mut q);
+        assert_eq!(
+            batches,
+            vec![(1, vec![1, 4]), (3, vec![3]), (5, vec![0, 2])]
+        );
+    }
+
+    #[test]
+    fn overflow_window_advances() {
+        // Priorities far beyond the open window force rebucketing.
+        let pri = vec![1000, 5, 2000, 5];
+        let mut q = BucketQueue::new(4, &pri);
+        let mut sim = Sim::new(&pri);
+        let batches = sim.drain(&mut q);
+        assert_eq!(
+            batches,
+            vec![(5, vec![1, 3]), (1000, vec![0]), (2000, vec![2])]
+        );
+        assert_eq!(q.overflow_len(), 0);
+    }
+
+    #[test]
+    fn decreased_priority_moves_vertex_earlier() {
+        let pri = vec![10, 20];
+        let mut q = BucketQueue::new(64, &pri);
+        // Simulate support decrease of id 1 to 12 before popping.
+        q.insert(1, 12);
+        let mut current: HashMap<u32, u64> = [(0u32, 10u64), (1, 12)].into_iter().collect();
+        let mut order = Vec::new();
+        while let Some((v, batch)) = {
+            let cur = current.clone();
+            let claimed = std::cell::RefCell::new(Vec::<u32>::new());
+            q.pop_min_batch(
+                |id| {
+                    if cur.contains_key(&id) && !claimed.borrow().contains(&id) {
+                        claimed.borrow_mut().push(id);
+                        cur.get(&id).copied()
+                    } else {
+                        None
+                    }
+                },
+                |id| {
+                    if claimed.borrow().contains(&id) {
+                        None
+                    } else {
+                        cur.get(&id).copied()
+                    }
+                },
+            )
+        } {
+            for &b in &batch {
+                current.remove(&b);
+            }
+            order.push((v, batch));
+        }
+        assert_eq!(order, vec![(10, vec![0]), (12, vec![1])]);
+    }
+
+    #[test]
+    fn duplicate_entries_claimed_once() {
+        let pri = vec![3];
+        let mut q = BucketQueue::new(8, &pri);
+        q.insert(0, 3);
+        q.insert(0, 3); // triple entry overall
+        let claimed_once = std::cell::Cell::new(false);
+        let got = q.pop_min_batch(
+            |_| {
+                if !claimed_once.get() {
+                    claimed_once.set(true);
+                    Some(3)
+                } else {
+                    None
+                }
+            },
+            |_| if claimed_once.get() { None } else { Some(3) },
+        );
+        assert_eq!(got, Some((3, vec![0])));
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = BucketQueue::new(4, &[]);
+        assert_eq!(q.pop_min_batch(|_| None, |_| None), None);
+    }
+}

@@ -1,0 +1,449 @@
+//! The parallel peel/update machinery shared by RECEIPT CD and ParB:
+//! wedge-aggregation scratch, the `update()` routine of Algorithm 2, and
+//! [`PeelGraph`] — the live-graph wrapper that implements Dynamic Graph
+//! Maintenance (§4.2).
+
+use crate::support::SupportVec;
+use bigraph::{BipartiteCsr, RankedGraph, Side, SideGraph, VertexId};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Neighbour access used by wedge traversal. Implemented by [`SideGraph`]
+/// (static graph) and [`PeelGraph`] (DGM-compacted live graph).
+pub trait WedgeAccess: Sync {
+    fn nbrs_primary(&self, p: VertexId) -> &[VertexId];
+    fn nbrs_secondary(&self, s: VertexId) -> &[VertexId];
+}
+
+impl WedgeAccess for SideGraph<'_> {
+    #[inline]
+    fn nbrs_primary(&self, p: VertexId) -> &[VertexId] {
+        self.neighbors_primary(p)
+    }
+    #[inline]
+    fn nbrs_secondary(&self, s: VertexId) -> &[VertexId] {
+        self.neighbors_secondary(s)
+    }
+}
+
+/// Dense per-task scratch for one `update()` call: common-neighbour counts
+/// plus the list of touched 2-hop neighbours.
+pub struct PeelScratch {
+    pub cnt: Vec<u32>,
+    pub touched: Vec<VertexId>,
+}
+
+impl PeelScratch {
+    pub fn new(num_primary: usize) -> Self {
+        PeelScratch {
+            cnt: vec![0; num_primary],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Algorithm 2's `update(u, floor, ⋈, G)` for the parallel steps: traverses
+/// all wedges anchored at the peeled vertex `u`, computes the shared
+/// butterfly count `⋈(u, u') = C(common, 2)` per 2-hop neighbour, and
+/// applies floor-clamped atomic decrements to every *alive* neighbour.
+/// Calls `on_updated(u')` for each alive neighbour whose support actually
+/// changed. Returns the number of wedges traversed.
+pub fn peel_vertex<G: WedgeAccess>(
+    g: &G,
+    u: VertexId,
+    floor: u64,
+    support: &SupportVec,
+    alive: &[AtomicBool],
+    scratch: &mut PeelScratch,
+    mut on_updated: impl FnMut(VertexId),
+) -> u64 {
+    let mut wedges = 0u64;
+    for &s in g.nbrs_primary(u) {
+        for &u2 in g.nbrs_secondary(s) {
+            if u2 == u {
+                continue;
+            }
+            wedges += 1;
+            let c = &mut scratch.cnt[u2 as usize];
+            if *c == 0 {
+                scratch.touched.push(u2);
+            }
+            *c += 1;
+        }
+    }
+    for &u2 in &scratch.touched {
+        let c = scratch.cnt[u2 as usize] as u64;
+        scratch.cnt[u2 as usize] = 0;
+        if c >= 2 && alive[u2 as usize].load(Ordering::Relaxed) {
+            let delta = c * (c - 1) / 2;
+            let prev = support.decrement(u2, delta, floor);
+            if prev > floor {
+                on_updated(u2);
+            }
+        }
+    }
+    scratch.touched.clear();
+    wedges
+}
+
+/// The live graph during coarse-grained peeling. Owns a rank-sorted
+/// [`RankedGraph`] that stays rank-sorted through DGM compactions
+/// (order-preserving filtering), so HUC re-counts run directly on the live
+/// structure with the *original* ranks — no re-ranking or re-sorting per
+/// re-count. Vertex-priority counting is exact under any fixed total
+/// order; the initial degree order merely bounds its cost, and it remains
+/// a good proxy as the graph shrinks.
+pub struct PeelGraph {
+    side: Side,
+    current: RankedGraph,
+    alive: Vec<AtomicBool>,
+    live_count: usize,
+    /// Wedges traversed since the last compaction (drives the `≥ m` DGM
+    /// trigger).
+    wedges_since_compact: u64,
+    /// Edge count of the current structure.
+    m_current: usize,
+    /// Edge count of the original graph (the DGM trigger base: compaction
+    /// after ≥ m original-graph wedge traversals keeps DGM free in the
+    /// asymptotic complexity, §4.2).
+    m_original: usize,
+    /// Cached `C_rcnt` of the current structure (recomputed on compaction).
+    recount_cost_cache: u64,
+    compactions: u64,
+}
+
+impl PeelGraph {
+    /// Takes ownership of the ranked graph built for initial counting.
+    pub fn new(side: Side, ranked: RankedGraph) -> Self {
+        let n = match side {
+            Side::U => ranked.num_u(),
+            Side::V => ranked.num_v(),
+        };
+        let mut pg = PeelGraph {
+            side,
+            current: ranked,
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            live_count: n,
+            wedges_since_compact: 0,
+            m_current: 0,
+            m_original: 0,
+            recount_cost_cache: 0,
+            compactions: 0,
+        };
+        pg.m_current = pg.current.num_edges();
+        pg.m_original = pg.m_current;
+        pg.recount_cost_cache = pg.compute_recount_cost();
+        pg
+    }
+
+    /// Convenience for tests: rank the graph and wrap it.
+    pub fn from_csr(g: &BipartiteCsr, side: Side) -> Self {
+        PeelGraph::new(side, RankedGraph::from_csr(g))
+    }
+
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    pub fn num_primary(&self) -> usize {
+        self.alive.len()
+    }
+
+    pub fn num_secondary(&self) -> usize {
+        match self.side {
+            Side::U => self.current.num_v(),
+            Side::V => self.current.num_u(),
+        }
+    }
+
+    #[inline]
+    pub fn is_alive(&self, p: VertexId) -> bool {
+        self.alive[p as usize].load(Ordering::Relaxed)
+    }
+
+    pub fn alive_flags(&self) -> &[AtomicBool] {
+        &self.alive
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Marks a batch peeled. Call between iterations (single-threaded
+    /// bookkeeping; the flags themselves are read concurrently).
+    pub fn kill_batch(&mut self, batch: &[VertexId]) {
+        for &u in batch {
+            debug_assert!(self.is_alive(u), "double peel of {u}");
+            self.alive[u as usize].store(false, Ordering::Relaxed);
+        }
+        self.live_count -= batch.len();
+    }
+
+    /// Live primary ids (ascending).
+    pub fn live_vertices(&self) -> Vec<VertexId> {
+        (0..self.num_primary() as VertexId)
+            .filter(|&p| self.is_alive(p))
+            .collect()
+    }
+
+    #[inline]
+    fn deg_secondary(&self, s: VertexId) -> usize {
+        match self.side {
+            Side::U => self.current.deg_v(s),
+            Side::V => self.current.deg_u(s),
+        }
+    }
+
+    /// Peel-cost `Σ_{v∈N_u} d_v` of one vertex in the current structure.
+    pub fn peel_cost(&self, u: VertexId) -> u64 {
+        self.nbrs_primary(u)
+            .iter()
+            .map(|&s| self.deg_secondary(s) as u64)
+            .sum()
+    }
+
+    fn compute_recount_cost(&self) -> u64 {
+        use rayon::prelude::*;
+        (0..self.num_primary() as VertexId)
+            .into_par_iter()
+            .map(|p| {
+                let dp = self.nbrs_primary(p).len() as u64;
+                self.nbrs_primary(p)
+                    .iter()
+                    .map(|&s| dp.min(self.deg_secondary(s) as u64))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Cached `C_rcnt` of the current structure. Only refreshed on
+    /// compaction, so between compactions it is an upper bound (the live
+    /// graph can only shrink) — a conservative input to the HUC test.
+    pub fn recount_cost(&self) -> u64 {
+        self.recount_cost_cache
+    }
+
+    pub fn note_wedges(&mut self, w: u64) {
+        self.wedges_since_compact += w;
+    }
+
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// DGM trigger: compacts if at least `threshold · m_current` wedges
+    /// were traversed since the previous compaction. Returns whether a
+    /// compaction happened.
+    pub fn maybe_compact(&mut self, threshold: f64) -> bool {
+        if (self.wedges_since_compact as f64) < threshold * self.m_original as f64 {
+            return false;
+        }
+        self.compact_now();
+        true
+    }
+
+    /// Unconditional compaction, preserving ranks and rank order.
+    pub fn compact_now(&mut self) {
+        let alive_primary: Vec<bool> =
+            self.alive.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        let all_secondary = vec![true; self.num_secondary()];
+        self.current = match self.side {
+            Side::U => self.current.compact(&alive_primary, &all_secondary),
+            Side::V => self.current.compact(&all_secondary, &alive_primary),
+        };
+        self.m_current = self.current.num_edges();
+        self.recount_cost_cache = self.compute_recount_cost();
+        self.wedges_since_compact = 0;
+        self.compactions += 1;
+    }
+
+    /// HUC re-count: per-vertex butterfly counts of the *live* subgraph,
+    /// computed in place with alive-filtering — no compaction and no
+    /// re-ranking (the structure keeps its original rank order, which
+    /// stays a valid priority for exact counting). Returns counts for both
+    /// sides; callers pick `counts.side(self.side())`.
+    pub fn recount_live(&mut self) -> butterfly::VertexCounts {
+        butterfly::parallel::par_counts_with_filter(&self.current, self.side, &self.alive)
+    }
+
+    /// Edge count of the current (possibly compacted) structure.
+    pub fn current_edges(&self) -> usize {
+        self.m_current
+    }
+}
+
+impl WedgeAccess for PeelGraph {
+    #[inline]
+    fn nbrs_primary(&self, p: VertexId) -> &[VertexId] {
+        match self.side {
+            Side::U => self.current.neighbors_u(p),
+            Side::V => self.current.neighbors_v(p),
+        }
+    }
+
+    #[inline]
+    fn nbrs_secondary(&self, s: VertexId) -> &[VertexId] {
+        match self.side {
+            Side::U => self.current.neighbors_v(s),
+            Side::V => self.current.neighbors_u(s),
+        }
+    }
+}
+
+/// Shared atomic wedge counter used by the parallel peeling loops.
+#[derive(Debug, Default)]
+pub struct WedgeCounter(AtomicU64);
+
+impl WedgeCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::builder::from_edges;
+
+    fn k33() -> BipartiteCsr {
+        let mut e = Vec::new();
+        for u in 0..3 {
+            for v in 0..3 {
+                e.push((u, v));
+            }
+        }
+        from_edges(3, 3, &e).unwrap()
+    }
+
+    fn alive_vec(n: usize) -> Vec<AtomicBool> {
+        (0..n).map(|_| AtomicBool::new(true)).collect()
+    }
+
+    #[test]
+    fn peel_vertex_applies_shared_butterflies() {
+        let g = k33();
+        let view = g.view(Side::U);
+        // Each u in K(3,3) has 6 butterflies.
+        let support = SupportVec::from_counts(&[6, 6, 6]);
+        let alive = alive_vec(3);
+        alive[0].store(false, Ordering::Relaxed); // u0 being peeled
+        let mut scratch = PeelScratch::new(3);
+        let mut updated = Vec::new();
+        let wedges = peel_vertex(&view, 0, 0, &support, &alive, &mut scratch, |u| {
+            updated.push(u)
+        });
+        // u0 shares C(3,2)=3 butterflies with each of u1, u2.
+        assert_eq!(support.get(1), 3);
+        assert_eq!(support.get(2), 3);
+        // Wedges: 3 secondary neighbours × 2 other endpoints.
+        assert_eq!(wedges, 6);
+        updated.sort_unstable();
+        assert_eq!(updated, vec![1, 2]);
+        // Scratch is clean for reuse.
+        assert!(scratch.touched.is_empty());
+        assert!(scratch.cnt.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn peel_vertex_respects_floor_and_dead() {
+        let g = k33();
+        let view = g.view(Side::U);
+        let support = SupportVec::from_counts(&[6, 6, 6]);
+        let alive = alive_vec(3);
+        alive[0].store(false, Ordering::Relaxed);
+        alive[2].store(false, Ordering::Relaxed); // dead: no update
+        let mut scratch = PeelScratch::new(3);
+        let mut updated = Vec::new();
+        peel_vertex(&view, 0, 5, &support, &alive, &mut scratch, |u| updated.push(u));
+        assert_eq!(support.get(1), 5, "clamped at floor");
+        assert_eq!(support.get(2), 6, "dead vertex untouched");
+        assert_eq!(updated, vec![1]);
+    }
+
+    #[test]
+    fn peelgraph_kill_and_compact() {
+        let g = k33();
+        let mut pg = PeelGraph::from_csr(&g, Side::U);
+        assert_eq!(pg.live_count(), 3);
+        pg.kill_batch(&[1]);
+        assert_eq!(pg.live_count(), 2);
+        assert!(!pg.is_alive(1));
+        assert_eq!(pg.live_vertices(), vec![0, 2]);
+        // Before compaction, traversal still sees u1 through v-lists.
+        assert_eq!(pg.nbrs_secondary(0).len(), 3);
+        pg.compact_now();
+        assert_eq!(pg.nbrs_secondary(0).len(), 2);
+        assert!(pg.nbrs_primary(1).is_empty());
+        assert_eq!(pg.compactions(), 1);
+        assert_eq!(pg.current_edges(), 6);
+    }
+
+    #[test]
+    fn dgm_threshold_gates_compaction() {
+        let g = k33();
+        let mut pg = PeelGraph::from_csr(&g, Side::U);
+        pg.kill_batch(&[0]);
+        pg.note_wedges(3); // below m = 9
+        assert!(!pg.maybe_compact(1.0));
+        pg.note_wedges(10);
+        assert!(pg.maybe_compact(1.0));
+        // Counter resets after compaction.
+        assert!(!pg.maybe_compact(1.0));
+    }
+
+    #[test]
+    fn peelgraph_v_side() {
+        let g = from_edges(2, 3, &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]).unwrap();
+        let mut pg = PeelGraph::from_csr(&g, Side::V);
+        assert_eq!(pg.num_primary(), 3);
+        assert_eq!(pg.num_secondary(), 2);
+        pg.kill_batch(&[2]);
+        pg.compact_now();
+        // u0 (a secondary vertex in this view) lost its edge to v2.
+        assert_eq!(pg.nbrs_secondary(0).len(), 2);
+        assert_eq!(pg.current_edges(), 4);
+    }
+
+    #[test]
+    fn recount_cost_refreshes_on_compaction() {
+        let g = k33();
+        let mut pg = PeelGraph::from_csr(&g, Side::U);
+        let before = pg.recount_cost();
+        assert!(before > 0);
+        pg.kill_batch(&[0, 1]);
+        pg.compact_now();
+        assert!(pg.recount_cost() < before);
+    }
+
+    #[test]
+    fn peel_cost_tracks_current_structure() {
+        let g = k33();
+        let mut pg = PeelGraph::from_csr(&g, Side::U);
+        assert_eq!(pg.peel_cost(0), 9); // 3 neighbours × degree 3
+        pg.kill_batch(&[2]);
+        pg.compact_now();
+        assert_eq!(pg.peel_cost(0), 6); // v-degrees dropped to 2
+    }
+
+    #[test]
+    fn recount_live_matches_fresh_count() {
+        // Counting on the stale-ranked compacted structure must equal a
+        // from-scratch count of the live subgraph.
+        let g = bigraph::gen::zipf(50, 30, 300, 0.5, 0.9, 6);
+        let mut pg = PeelGraph::from_csr(&g, Side::U);
+        let dead: Vec<u32> = (0..50).step_by(3).collect();
+        pg.kill_batch(&dead);
+        let stale = pg.recount_live();
+        let alive_u: Vec<bool> = (0..50).map(|u| u % 3 != 0).collect();
+        let fresh_csr = bigraph::compact::compact(&g, &alive_u, &vec![true; 30]);
+        let fresh = butterfly::count_graph(&fresh_csr);
+        assert_eq!(stale.u, fresh.u);
+        assert_eq!(stale.v, fresh.v);
+    }
+}

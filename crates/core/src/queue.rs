@@ -1,0 +1,73 @@
+//! Abstraction over min-priority queues with `decrease_key`.
+//!
+//! Bottom-up peeling only needs three operations — extract-min,
+//! decrease-key, and key lookup — so the queue behind it is swappable.
+//! §5.1 of the paper compares a k-way indexed heap (fastest in practice),
+//! Fibonacci heaps (best asymptotics, Theorem 3), and the bucketing
+//! structure of Sariyüce et al.; implementing the trait for each makes the
+//! comparison a one-line ablation (see `benches/kernels.rs` and
+//! [`crate::bup::peel_all_with_queue`]).
+
+/// Minimal interface for a peeling priority queue over dense ids.
+pub trait DecreaseKeyQueue {
+    /// Removes and returns the minimum `(id, key)`; ties broken by id.
+    fn pop_min(&mut self) -> Option<(u32, u64)>;
+    /// Lowers the key of `id` (no-op when absent or not lower).
+    fn decrease_key(&mut self, id: u32, new_key: u64);
+    /// Current key of a still-contained id.
+    fn key(&self, id: u32) -> Option<u64>;
+    fn is_empty(&self) -> bool;
+}
+
+impl DecreaseKeyQueue for crate::heap::IndexedMinHeap {
+    fn pop_min(&mut self) -> Option<(u32, u64)> {
+        crate::heap::IndexedMinHeap::pop_min(self)
+    }
+    fn decrease_key(&mut self, id: u32, new_key: u64) {
+        crate::heap::IndexedMinHeap::decrease_key(self, id, new_key)
+    }
+    fn key(&self, id: u32) -> Option<u64> {
+        crate::heap::IndexedMinHeap::key(self, id)
+    }
+    fn is_empty(&self) -> bool {
+        crate::heap::IndexedMinHeap::is_empty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut impl DecreaseKeyQueue) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        while let Some(x) = q.pop_min() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn trait_objects_work_for_both_queues() {
+        let keys = [4u64, 1, 3, 1];
+        let mut heap = crate::heap::IndexedMinHeap::new(4, &keys);
+        let mut fib = crate::fibheap::FibonacciHeap::new(&keys);
+        let a = drain(&mut heap);
+        let b = drain(&mut fib);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(1, 1), (3, 1), (2, 3), (0, 4)]);
+    }
+
+    #[test]
+    fn decrease_key_through_trait() {
+        fn lower_then_pop(q: &mut impl DecreaseKeyQueue) -> (u32, u64) {
+            q.decrease_key(2, 0);
+            assert_eq!(q.key(2), Some(0));
+            q.pop_min().unwrap()
+        }
+        let keys = [5u64, 6, 7];
+        let mut heap = crate::heap::IndexedMinHeap::new(2, &keys);
+        let mut fib = crate::fibheap::FibonacciHeap::new(&keys);
+        assert_eq!(lower_then_pop(&mut heap), (2, 0));
+        assert_eq!(lower_then_pop(&mut fib), (2, 0));
+    }
+}

@@ -1,0 +1,387 @@
+//! Wing (edge) decomposition — the §7 extension.
+//!
+//! A k-wing is the edge analogue of a k-tip: a maximal subgraph where every
+//! *edge* participates in at least `k` butterflies. The wing number of an
+//! edge is the largest `k` for which a k-wing contains it. This module
+//! implements bottom-up edge peeling (Sariyüce–Pinar style) on top of the
+//! per-edge counting of [`butterfly::per_edge`], with the same
+//! clamped-minimum semantics as vertex peeling. The paper notes the RECEIPT
+//! range machinery carries over to edges with one extra care point —
+//! several edges of one butterfly can be peeled in the same iteration — so
+//! the sequential peel here checks liveness of all three partner edges per
+//! butterfly.
+
+use crate::heap::IndexedMinHeap;
+use bigraph::{SideGraph, VertexId};
+
+/// Result of a wing decomposition.
+#[derive(Debug, Clone)]
+pub struct WingDecomposition {
+    /// Edges in primary-CSR order (`(u, v)` with `u` on the primary side).
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// `wing[e]` = wing number of `edges[e]`.
+    pub wing: Vec<u64>,
+    /// Wedge/intersection work performed (diagnostic).
+    pub work: u64,
+}
+
+impl WingDecomposition {
+    pub fn wing_of(&self, u: VertexId, v: VertexId) -> Option<u64> {
+        self.edges
+            .iter()
+            .position(|&e| e == (u, v))
+            .map(|i| self.wing[i])
+    }
+
+    pub fn max_wing(&self) -> u64 {
+        self.wing.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Edge-id lookup table over the primary CSR layout.
+pub(crate) struct EdgeIndex {
+    offsets: Vec<usize>,
+}
+
+impl EdgeIndex {
+    pub(crate) fn new(view: SideGraph<'_>) -> Self {
+        let np = view.num_primary();
+        let mut offsets = vec![0usize; np + 1];
+        for p in 0..np {
+            offsets[p + 1] = offsets[p] + view.deg_primary(p as VertexId);
+        }
+        EdgeIndex { offsets }
+    }
+
+    pub(crate) fn id(&self, view: SideGraph<'_>, u: VertexId, v: VertexId) -> Option<usize> {
+        view.neighbors_primary(u)
+            .binary_search(&v)
+            .ok()
+            .map(|pos| self.offsets[u as usize] + pos)
+    }
+}
+
+/// Sequential bottom-up wing decomposition of the primary-side edges.
+///
+/// ```
+/// use bigraph::Side;
+/// // K(2,2): the single butterfly makes every edge a 1-wing member.
+/// let g = bigraph::builder::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+/// let d = receipt::wing::wing_decompose(g.view(Side::U), 4);
+/// assert_eq!(d.wing, vec![1, 1, 1, 1]);
+/// ```
+pub fn wing_decompose(view: SideGraph<'_>, heap_arity: usize) -> WingDecomposition {
+    let counts = butterfly::per_edge::per_edge_counts(view);
+    let m = counts.len();
+    let index = EdgeIndex::new(view);
+    let edges: Vec<(VertexId, VertexId)> = (0..view.num_primary() as VertexId)
+        .flat_map(|u| view.neighbors_primary(u).iter().map(move |&v| (u, v)))
+        .collect();
+    debug_assert_eq!(edges.len(), m);
+
+    let mut heap = IndexedMinHeap::new(heap_arity, &counts);
+    let mut wing = vec![0u64; m];
+    let mut work = 0u64;
+
+    while let Some((e, theta)) = heap.pop_min() {
+        wing[e as usize] = theta;
+        let (u, v) = edges[e as usize];
+        // Enumerate live butterflies (u, v, u2, v2) containing this edge.
+        for &v2 in view.neighbors_primary(u) {
+            if v2 == v {
+                continue;
+            }
+            let Some(e_uv2) = index.id(view, u, v2) else { continue };
+            if !heap.contains(e_uv2 as u32) {
+                continue; // (u, v2) already peeled: those butterflies died
+            }
+            // u2 ∈ N(v) ∩ N(v2), u2 ≠ u — sorted-merge intersection.
+            let (nv, nv2) = (view.neighbors_secondary(v), view.neighbors_secondary(v2));
+            let (mut i, mut j) = (0, 0);
+            while i < nv.len() && j < nv2.len() {
+                work += 1;
+                match nv[i].cmp(&nv2[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let u2 = nv[i];
+                        i += 1;
+                        j += 1;
+                        if u2 == u {
+                            continue;
+                        }
+                        let (Some(e_u2v), Some(e_u2v2)) =
+                            (index.id(view, u2, v), index.id(view, u2, v2))
+                        else {
+                            continue;
+                        };
+                        let (e3, e4) = (e_u2v as u32, e_u2v2 as u32);
+                        if heap.contains(e3) && heap.contains(e4) {
+                            // One live butterfly dies; its three surviving
+                            // edges lose one butterfly each (clamped).
+                            for other in [e_uv2 as u32, e3, e4] {
+                                if let Some(k) = heap.key(other) {
+                                    heap.decrease_key(other, k.saturating_sub(1).max(theta));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    WingDecomposition { edges, wing, work }
+}
+
+/// The k-wings of the graph: butterfly-connected components of the edges
+/// with `wing ≥ k`, each returned as a sorted list of edge ids (positions
+/// in [`WingDecomposition::edges`]). Two edges are adjacent when some
+/// butterfly within the qualifying edge set contains both. Edges in no
+/// qualifying butterfly only appear when `k = 0`.
+pub fn kwing_components(
+    view: SideGraph<'_>,
+    decomposition: &WingDecomposition,
+    k: u64,
+) -> Vec<Vec<usize>> {
+    let m = decomposition.wing.len();
+    let index = EdgeIndex::new(view);
+    let qualifies = |e: usize| decomposition.wing[e] >= k;
+    // Union-find over edge ids.
+    let mut parent: Vec<u32> = (0..m as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut in_butterfly = vec![false; m];
+
+    for (e, &(u, v)) in decomposition.edges.iter().enumerate() {
+        if !qualifies(e) {
+            continue;
+        }
+        for &v2 in view.neighbors_primary(u) {
+            if v2 <= v {
+                continue; // enumerate each butterfly once per (v, v2) pair
+            }
+            let Some(e2) = index.id(view, u, v2) else { continue };
+            if !qualifies(e2) {
+                continue;
+            }
+            let (nv, nv2) = (view.neighbors_secondary(v), view.neighbors_secondary(v2));
+            let (mut i, mut j) = (0, 0);
+            while i < nv.len() && j < nv2.len() {
+                match nv[i].cmp(&nv2[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let u2 = nv[i];
+                        i += 1;
+                        j += 1;
+                        if u2 <= u {
+                            continue; // and once per (u, u2) pair
+                        }
+                        let (Some(e3), Some(e4)) =
+                            (index.id(view, u2, v), index.id(view, u2, v2))
+                        else {
+                            continue;
+                        };
+                        if qualifies(e3) && qualifies(e4) {
+                            for &(a, b) in
+                                &[(e, e2), (e, e3), (e, e4)]
+                            {
+                                let (ra, rb) =
+                                    (find(&mut parent, a as u32), find(&mut parent, b as u32));
+                                if ra != rb {
+                                    parent[ra.max(rb) as usize] = ra.min(rb);
+                                }
+                            }
+                            for &x in &[e, e2, e3, e4] {
+                                in_butterfly[x] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut by_root: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (e, &in_b) in in_butterfly.iter().enumerate() {
+        if qualifies(e) && (in_b || k == 0) {
+            let r = find(&mut parent, e as u32);
+            by_root.entry(r).or_default().push(e);
+        }
+    }
+    by_root.into_values().collect()
+}
+
+/// Reference oracle: recomputes per-edge butterfly counts on the live
+/// subgraph before every single-edge peel. `O(m² · Σd²)` — tests only.
+pub fn naive_wing_decompose(view: SideGraph<'_>) -> WingDecomposition {
+    let edges: Vec<(VertexId, VertexId)> = (0..view.num_primary() as VertexId)
+        .flat_map(|u| view.neighbors_primary(u).iter().map(move |&v| (u, v)))
+        .collect();
+    let m = edges.len();
+    let mut alive = vec![true; m];
+    let mut wing = vec![0u64; m];
+    let mut theta = 0u64;
+
+    for _ in 0..m {
+        // Rebuild the live subgraph and count butterflies per live edge.
+        let live_edges: Vec<(VertexId, VertexId)> = edges
+            .iter()
+            .zip(&alive)
+            .filter(|(_, &a)| a)
+            .map(|(&e, _)| e)
+            .collect();
+        let sub = bigraph::builder::from_edges(
+            view.num_primary(),
+            view.num_secondary(),
+            &live_edges,
+        )
+        .unwrap();
+        let sub_counts = butterfly::per_edge::per_edge_counts(sub.view(bigraph::Side::U));
+        // Map live-edge counts back to original ids (same sort order).
+        let mut live_ids: Vec<usize> = (0..m).filter(|&e| alive[e]).collect();
+        live_ids.sort_by_key(|&e| edges[e]);
+        let (min_pos, min_cnt) = sub_counts
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &c)| (c, i))
+            .map(|(i, &c)| (i, c))
+            .expect("live edges remain");
+        let victim = live_ids[min_pos];
+        theta = theta.max(min_cnt);
+        wing[victim] = theta;
+        alive[victim] = false;
+    }
+
+    WingDecomposition {
+        edges,
+        wing,
+        work: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::builder::from_edges;
+    use bigraph::{gen, Side};
+
+    #[test]
+    fn single_butterfly_wings() {
+        let g = from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let w = wing_decompose(g.view(Side::U), 4);
+        assert_eq!(w.wing, vec![1, 1, 1, 1]);
+        assert_eq!(w.max_wing(), 1);
+        assert_eq!(w.wing_of(0, 1), Some(1));
+        assert_eq!(w.wing_of(1, 9), None);
+    }
+
+    #[test]
+    fn k33_wings() {
+        let mut e = Vec::new();
+        for u in 0..3 {
+            for v in 0..3 {
+                e.push((u, v));
+            }
+        }
+        let g = from_edges(3, 3, &e).unwrap();
+        let w = wing_decompose(g.view(Side::U), 4);
+        // K(3,3) is edge-transitive; every edge sits in 4 butterflies and
+        // the whole graph is a 4-wing.
+        assert!(w.wing.iter().all(|&x| x == 4), "{:?}", w.wing);
+    }
+
+    #[test]
+    fn path_has_zero_wings() {
+        let g = from_edges(3, 2, &[(0, 0), (1, 0), (1, 1), (2, 1)]).unwrap();
+        let w = wing_decompose(g.view(Side::U), 4);
+        assert!(w.wing.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_small_graphs() {
+        for seed in 0..5 {
+            let g = gen::uniform(8, 8, 28, seed);
+            let fast = wing_decompose(g.view(Side::U), 4);
+            let slow = naive_wing_decompose(g.view(Side::U));
+            assert_eq!(fast.wing, slow.wing, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_planted_block_with_noise() {
+        let g = gen::planted_bicliques(8, 8, 1, 3, 3, 12, 3);
+        let fast = wing_decompose(g.view(Side::U), 4);
+        let slow = naive_wing_decompose(g.view(Side::U));
+        assert_eq!(fast.wing, slow.wing);
+    }
+
+    #[test]
+    fn wing_bounded_by_edge_butterfly_count() {
+        let g = gen::zipf(20, 15, 80, 0.5, 0.8, 2);
+        let counts = butterfly::per_edge::per_edge_counts(g.view(Side::U));
+        let w = wing_decompose(g.view(Side::U), 4);
+        for (e, (&wing, &cnt)) in w.wing.iter().zip(&counts).enumerate() {
+            assert!(wing <= cnt, "edge {e}: wing {wing} > count {cnt}");
+        }
+    }
+
+    #[test]
+    fn kwing_components_on_two_blocks() {
+        // Two disjoint butterflies: each is its own 1-wing.
+        let g = from_edges(
+            4,
+            4,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (3, 2), (3, 3)],
+        )
+        .unwrap();
+        let view = g.view(Side::U);
+        let d = wing_decompose(view, 4);
+        let comps = kwing_components(view, &d, 1);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().all(|c| c.len() == 4));
+        // Above max wing: nothing.
+        assert!(kwing_components(view, &d, d.max_wing() + 1).is_empty());
+    }
+
+    #[test]
+    fn kwing_components_nest_and_respect_wing_numbers() {
+        let g = gen::planted_bicliques(12, 12, 2, 4, 4, 20, 8);
+        let view = g.view(Side::U);
+        let d = wing_decompose(view, 4);
+        let wmax = d.max_wing();
+        let hi: Vec<usize> = kwing_components(view, &d, wmax).into_iter().flatten().collect();
+        let lo: Vec<usize> = kwing_components(view, &d, 1).into_iter().flatten().collect();
+        for e in &hi {
+            assert!(lo.contains(e), "edge {e} lost down-hierarchy");
+        }
+        // Every member of a k-level really has wing >= k.
+        for e in hi {
+            assert!(d.wing[e] >= wmax);
+        }
+    }
+
+    #[test]
+    fn v_side_wing_total_consistency() {
+        // Wing numbers are a property of edges; peeling from either view
+        // must produce the same multiset (edge identities permute).
+        let g = gen::uniform(10, 10, 40, 9);
+        let mut a = wing_decompose(g.view(Side::U), 4).wing;
+        let mut b = wing_decompose(g.view(Side::V), 4).wing;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,79 @@
+//! Thread-pool sizing helpers.
+//!
+//! The paper's scalability study (Figures 10–11) sweeps 1–36 threads. Rayon's
+//! global pool is fixed at startup, so the harness runs each configuration
+//! inside a locally built pool of the exact requested size.
+
+/// Runs `f` inside a freshly built rayon pool with exactly `threads` workers.
+/// All rayon parallel iterators invoked (transitively) from `f` execute on
+/// that pool.
+pub fn with_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+/// Splits `0..len` into at most `parts` contiguous, nearly equal chunks.
+/// Returns `(start, end)` pairs; never returns empty chunks.
+pub fn balanced_chunks(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn with_pool_controls_thread_count() {
+        let seen = with_pool(2, rayon::current_num_threads);
+        assert_eq!(seen, 2);
+        let seen = with_pool(1, rayon::current_num_threads);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn with_pool_runs_parallel_work() {
+        let sum: u64 = with_pool(2, || (0u64..1000).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn balanced_chunks_cover_range() {
+        for len in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let chunks = balanced_chunks(len, parts);
+                let covered: usize = chunks.iter().map(|(s, e)| e - s).sum();
+                assert_eq!(covered, len);
+                for w in chunks.windows(2) {
+                    assert_eq!(w[0].1, w[1].0); // contiguous
+                }
+                for (s, e) in &chunks {
+                    assert!(s < e, "no empty chunks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_chunks_sizes_differ_by_at_most_one() {
+        let chunks = balanced_chunks(10, 3);
+        let sizes: Vec<usize> = chunks.iter().map(|(s, e)| e - s).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Phase timing for the execution-time breakdowns (Figures 8–9 of the paper
+//! split total runtime into pvBcnt / RECEIPT CD / RECEIPT FD).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time per named phase. Phases may be entered
+/// repeatedly; durations accumulate.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    totals: BTreeMap<&'static str, Duration>,
+}
+
+impl PhaseTimer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` and charges the elapsed time to `phase`.
+    pub fn time<R>(&mut self, phase: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Adds an externally measured duration to `phase`.
+    pub fn add(&mut self, phase: &'static str, d: Duration) {
+        *self.totals.entry(phase).or_default() += d;
+    }
+
+    pub fn get(&self, phase: &str) -> Duration {
+        self.totals.get(phase).copied().unwrap_or_default()
+    }
+
+    pub fn total(&self) -> Duration {
+        self.totals.values().sum()
+    }
+
+    /// Phase shares in `[0, 1]`, keyed by phase name. Empty if nothing was
+    /// timed.
+    pub fn shares(&self) -> BTreeMap<&'static str, f64> {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return BTreeMap::new();
+        }
+        self.totals
+            .iter()
+            .map(|(k, v)| (*k, v.as_secs_f64() / total))
+            .collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        self.totals.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another timer's totals into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_phases() {
+        let mut t = PhaseTimer::new();
+        t.add("cd", Duration::from_millis(30));
+        t.add("cd", Duration::from_millis(20));
+        t.add("fd", Duration::from_millis(50));
+        assert_eq!(t.get("cd"), Duration::from_millis(50));
+        assert_eq!(t.total(), Duration::from_millis(100));
+        let shares = t.shares();
+        assert!((shares["cd"] - 0.5).abs() < 1e-9);
+        assert!((shares["fd"] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_returns_closure_result() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("work", || 42);
+        assert_eq!(v, 42);
+        assert!(t.get("work") > Duration::ZERO || t.get("work") == Duration::ZERO);
+        assert!(t.iter().count() == 1);
+    }
+
+    #[test]
+    fn empty_timer_has_no_shares() {
+        let t = PhaseTimer::new();
+        assert!(t.shares().is_empty());
+        assert_eq!(t.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = PhaseTimer::new();
+        a.add("x", Duration::from_millis(10));
+        let mut b = PhaseTimer::new();
+        b.add("x", Duration::from_millis(5));
+        b.add("y", Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Duration::from_millis(15));
+        assert_eq!(a.get("y"), Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the RECEIPT reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so the root-level
+//! examples (`examples/`) and integration tests (`tests/`) can use a single
+//! dependency. Library users should depend on the member crates directly.
+
+pub use bigraph;
+pub use butterfly;
+pub use parutil;
+pub use receipt;

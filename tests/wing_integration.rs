@@ -1,0 +1,106 @@
+//! Wing (edge) decomposition integration: sequential vs RECEIPT-style
+//! parallel, interplay with tip numbers, and k-wing hierarchy structure.
+
+use bigraph::{gen, Side};
+use receipt::wing::{kwing_components, naive_wing_decompose, wing_decompose};
+use receipt::wing_parallel::receipt_wing_decompose;
+
+#[test]
+fn parallel_wing_matches_sequential_across_partitions_and_graphs() {
+    let graphs = [
+        ("uniform", gen::uniform(30, 30, 160, 11)),
+        ("zipf", gen::zipf(40, 20, 180, 0.4, 1.0, 12)),
+        ("blocks", gen::planted_bicliques(24, 24, 3, 4, 4, 50, 13)),
+        ("affiliation", gen::affiliation(30, 20, 4, 1, 0.8, 14)),
+    ];
+    for (name, g) in &graphs {
+        for side in [Side::U, Side::V] {
+            let seq = wing_decompose(g.view(side), 4);
+            for p in [1usize, 3, 8, 64] {
+                let (par, metrics) = receipt_wing_decompose(g.view(side), p, 4);
+                assert_eq!(seq.wing, par.wing, "{name} {side} P={p}");
+                assert!(metrics.partitions_used >= 1);
+                assert!(metrics.sync_rounds >= 1 || g.num_edges() == 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_wing_matches_naive_oracle() {
+    for seed in 0..4 {
+        let g = gen::uniform(9, 9, 36, seed);
+        let slow = naive_wing_decompose(g.view(Side::U));
+        let (fast, _) = receipt_wing_decompose(g.view(Side::U), 4, 4);
+        assert_eq!(slow.wing, fast.wing, "seed {seed}");
+    }
+}
+
+#[test]
+fn wing_coarse_rounds_are_fewer_than_distinct_wing_values() {
+    // The whole point of coarse ranges: far fewer synchronization rounds
+    // than one per support level.
+    let g = gen::planted_bicliques(40, 40, 4, 5, 5, 200, 21);
+    let (d, metrics) = receipt_wing_decompose(g.view(Side::U), 4, 4);
+    let mut distinct = d.wing.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(
+        metrics.sync_rounds < g.num_edges() as u64,
+        "rounds {} should be far below m {}",
+        metrics.sync_rounds,
+        g.num_edges()
+    );
+    let _ = distinct;
+}
+
+#[test]
+fn max_wing_vertices_sit_in_dense_tips() {
+    // Edges of the maximum wing live between vertices with high tip
+    // numbers: a k-wing's endpoints all participate in >= k butterflies.
+    let g = gen::planted_bicliques(30, 30, 2, 5, 5, 60, 31);
+    let wings = wing_decompose(g.view(Side::U), 4);
+    let tips = receipt::tip_decompose(&g, Side::U, &receipt::Config::default());
+    let wmax = wings.max_wing();
+    assert!(wmax > 0);
+    for (e, &w) in wings.wing.iter().enumerate() {
+        if w == wmax {
+            let (u, _) = wings.edges[e];
+            assert!(
+                tips.tip[u as usize] >= wmax,
+                "u{u} has tip {} < max wing {wmax}",
+                tips.tip[u as usize]
+            );
+        }
+    }
+}
+
+#[test]
+fn kwing_hierarchy_is_nested() {
+    let g = gen::planted_bicliques(20, 20, 2, 5, 5, 40, 41);
+    let view = g.view(Side::U);
+    let d = wing_decompose(view, 4);
+    let mut covered_prev: Option<usize> = None;
+    let mut k = d.max_wing();
+    while k > 0 {
+        let comps = kwing_components(view, &d, k);
+        let covered: usize = comps.iter().map(|c| c.len()).sum();
+        if let Some(prev) = covered_prev {
+            assert!(covered >= prev, "k={k}: coverage shrank going down");
+        }
+        covered_prev = Some(covered);
+        k /= 2;
+    }
+}
+
+#[test]
+fn wing_numbers_zero_iff_no_butterfly() {
+    let g = gen::uniform(25, 25, 90, 51);
+    let counts = butterfly::per_edge::per_edge_counts(g.view(Side::U));
+    let d = wing_decompose(g.view(Side::U), 4);
+    for (e, (&w, &c)) in d.wing.iter().zip(&counts).enumerate() {
+        if c == 0 {
+            assert_eq!(w, 0, "edge {e} in no butterfly must have wing 0");
+        }
+    }
+}
