@@ -16,7 +16,10 @@ fn bench_ablation(c: &mut Criterion) {
     for (name, g) in [("skewed", &skewed), ("mild", &mild)] {
         let configs = [
             ("receipt", Config::default().with_partitions(32)),
-            ("receipt_minus", Config::default().with_partitions(32).without_dgm()),
+            (
+                "receipt_minus",
+                Config::default().with_partitions(32).without_dgm(),
+            ),
             (
                 "receipt_minus_minus",
                 Config::default().with_partitions(32).baseline_variant(),

@@ -13,7 +13,9 @@ fn bench_kernels(c: &mut Criterion) {
     let n = 100_000usize;
     // Synthetic support values with a heavy tail, like real butterfly
     // counts.
-    let keys: Vec<u64> = (0..n as u64).map(|i| (i * i * 2_654_435_761) % 1_000_000).collect();
+    let keys: Vec<u64> = (0..n as u64)
+        .map(|i| (i * i * 2_654_435_761) % 1_000_000)
+        .collect();
 
     let mut group = c.benchmark_group("kernels");
 

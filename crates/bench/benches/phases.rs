@@ -22,13 +22,7 @@ fn bench_phases(c: &mut Criterion) {
     // FD alone, with a precomputed coarse result.
     let coarse = cd::coarse_decompose(&g, Side::U, &cfg);
     group.bench_function("fd", |b| {
-        b.iter(|| {
-            black_box(fd::fine_decompose(
-                g.view(Side::U),
-                coarse.clone(),
-                &cfg,
-            ))
-        })
+        b.iter(|| black_box(fd::fine_decompose(g.view(Side::U), coarse.clone(), &cfg)))
     });
     group.finish();
 }

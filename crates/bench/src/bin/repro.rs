@@ -22,7 +22,7 @@
 //! compares against the paper.
 
 use bigraph::{stats, Side};
-use receipt::{Config, hierarchy};
+use receipt::{hierarchy, Config};
 use receipt_bench::runner::*;
 
 fn main() {
@@ -108,8 +108,17 @@ fn table3() {
     header("Table 3: t(s) / wedges(M) / sync rounds for all algorithms");
     println!(
         "{:<5} {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>10} | {:>8} {:>8} | {:>9}",
-        "data", "t_pvBcnt", "t_BUP", "t_ParB", "t_RECEIPT", "W_BUP", "W_RCPT", "W_pvBcnt",
-        "rho_ParB", "rho_RCPT", "r"
+        "data",
+        "t_pvBcnt",
+        "t_BUP",
+        "t_ParB",
+        "t_RECEIPT",
+        "W_BUP",
+        "W_RCPT",
+        "W_pvBcnt",
+        "rho_ParB",
+        "rho_RCPT",
+        "r"
     );
     for w in all_workloads() {
         let bup = run_bup(&w);
@@ -156,7 +165,11 @@ fn fig4() {
         // Paper's observation: the overwhelming majority of vertices sit far
         // below θ_max.
         let theta_max = d.theta_max();
-        let below = d.tip.iter().filter(|&&t| (t as f64) < 0.03 * theta_max as f64).count();
+        let below = d
+            .tip
+            .iter()
+            .filter(|&&t| (t as f64) < 0.03 * theta_max as f64)
+            .count();
         println!(
             "   {:.2}% of vertices have theta < 3% of theta_max",
             100.0 * below as f64 / d.tip.len() as f64
@@ -283,9 +296,18 @@ fn wing_extension() {
         "graph", "|E|", "t_seq(s)", "t_rcpt(s)", "work_seq", "work_rcpt", "rounds", "max_wing"
     );
     let workloads = [
-        ("zipf-40k", bigraph::gen::zipf(6_000, 2_500, 40_000, 0.5, 1.0, 5)),
-        ("blocks", bigraph::gen::planted_bicliques(3_000, 3_000, 30, 8, 8, 15_000, 6)),
-        ("pa-30k", bigraph::gen::preferential_attachment(10_000, 4_000, 3, 7)),
+        (
+            "zipf-40k",
+            bigraph::gen::zipf(6_000, 2_500, 40_000, 0.5, 1.0, 5),
+        ),
+        (
+            "blocks",
+            bigraph::gen::planted_bicliques(3_000, 3_000, 30, 8, 8, 15_000, 6),
+        ),
+        (
+            "pa-30k",
+            bigraph::gen::preferential_attachment(10_000, 4_000, 3, 7),
+        ),
     ];
     for (name, g) in &workloads {
         let view = g.view(Side::U);

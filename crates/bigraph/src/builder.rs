@@ -8,7 +8,12 @@ use rayon::prelude::*;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
     /// An endpoint referenced a vertex id `>= side size`.
-    VertexOutOfRange { u: VertexId, v: VertexId, nu: usize, nv: usize },
+    VertexOutOfRange {
+        u: VertexId,
+        v: VertexId,
+        nu: usize,
+        nv: usize,
+    },
     /// The requested side sizes do not fit `VertexId`.
     SideTooLarge(usize),
 }
@@ -16,10 +21,9 @@ pub enum BuildError {
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BuildError::VertexOutOfRange { u, v, nu, nv } => write!(
-                f,
-                "edge ({u}, {v}) out of range for |U|={nu}, |V|={nv}"
-            ),
+            BuildError::VertexOutOfRange { u, v, nu, nv } => {
+                write!(f, "edge ({u}, {v}) out of range for |U|={nu}, |V|={nv}")
+            }
             BuildError::SideTooLarge(n) => write!(f, "side size {n} exceeds u32 vertex ids"),
         }
     }
@@ -117,7 +121,9 @@ pub fn from_edges(
     nv: usize,
     edges: &[(VertexId, VertexId)],
 ) -> Result<BipartiteCsr, BuildError> {
-    GraphBuilder::new(nu, nv).add_edges(edges.iter().copied()).build()
+    GraphBuilder::new(nu, nv)
+        .add_edges(edges.iter().copied())
+        .build()
 }
 
 #[cfg(test)]

@@ -93,12 +93,7 @@ mod tests {
     use crate::builder::from_edges;
 
     fn sample() -> BipartiteCsr {
-        from_edges(
-            3,
-            3,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2)],
-        )
-        .unwrap()
+        from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2)]).unwrap()
     }
 
     #[test]

@@ -36,7 +36,14 @@ pub struct AnalogSpec {
 
 impl AnalogSpec {
     pub fn generate(&self) -> BipartiteCsr {
-        gen::zipf(self.nu, self.nv, self.m, self.alpha_u, self.alpha_v, self.seed)
+        gen::zipf(
+            self.nu,
+            self.nv,
+            self.m,
+            self.alpha_u,
+            self.alpha_v,
+            self.seed,
+        )
     }
 }
 
@@ -125,7 +132,9 @@ pub fn all() -> [AnalogSpec; 6] {
 
 /// Look up a preset by its two-letter name (case-insensitive).
 pub fn by_name(name: &str) -> Option<AnalogSpec> {
-    all().into_iter().find(|a| a.name.eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use crate::csr::BipartiteCsr;
 use crate::VertexId;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Uniform random bipartite graph: `m` distinct edges sampled uniformly
@@ -91,14 +91,7 @@ pub fn zipf_degree_sequence(n: usize, m: usize, alpha: f64, max_deg: usize) -> V
 /// // Seeded: regenerating gives the identical graph.
 /// assert_eq!(g, bigraph::gen::zipf(100, 50, 600, 0.4, 1.0, 7));
 /// ```
-pub fn zipf(
-    nu: usize,
-    nv: usize,
-    m: usize,
-    alpha_u: f64,
-    alpha_v: f64,
-    seed: u64,
-) -> BipartiteCsr {
+pub fn zipf(nu: usize, nv: usize, m: usize, alpha_u: f64, alpha_v: f64, seed: u64) -> BipartiteCsr {
     let du = zipf_degree_sequence(nu, m, alpha_u, nv.max(1));
     let dv = zipf_degree_sequence(nv, m, alpha_v, nu.max(1));
     let mu: usize = du.iter().sum();
@@ -322,7 +315,10 @@ mod tests {
 
     #[test]
     fn zipf_is_deterministic() {
-        assert_eq!(zipf(50, 50, 400, 0.5, 0.5, 3), zipf(50, 50, 400, 0.5, 0.5, 3));
+        assert_eq!(
+            zipf(50, 50, 400, 0.5, 0.5, 3),
+            zipf(50, 50, 400, 0.5, 0.5, 3)
+        );
     }
 
     #[test]
@@ -384,14 +380,14 @@ mod tests {
     #[test]
     fn zipf_index_in_range_and_skewed() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..5000 {
             counts[zipf_index(10, 1.2, &mut rng)] += 1;
         }
         assert!(counts[0] > counts[9], "head heavier than tail");
         assert_eq!(counts.iter().sum::<usize>(), 5000);
         // alpha = 0 → uniform-ish.
-        let mut c0 = vec![0usize; 4];
+        let mut c0 = [0usize; 4];
         for _ in 0..4000 {
             c0[zipf_index(4, 0.0, &mut rng)] += 1;
         }

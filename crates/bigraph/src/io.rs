@@ -80,8 +80,16 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId)>, I
 /// Reads an edge list into a graph, sizing each side from the maximum id.
 pub fn read_graph<R: Read>(reader: R) -> Result<BipartiteCsr, IoError> {
     let edges = read_edge_list(reader)?;
-    let nu = edges.iter().map(|&(u, _)| u as usize + 1).max().unwrap_or(0);
-    let nv = edges.iter().map(|&(_, v)| v as usize + 1).max().unwrap_or(0);
+    let nu = edges
+        .iter()
+        .map(|&(u, _)| u as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let nv = edges
+        .iter()
+        .map(|&(_, v)| v as usize + 1)
+        .max()
+        .unwrap_or(0);
     GraphBuilder::new(nu, nv)
         .add_edges(edges)
         .build()
@@ -170,7 +178,10 @@ mod tests {
         let path = dir.join("g.tsv");
         write_graph_path(&g, &path).unwrap();
         let g2 = read_graph_path(&path).unwrap();
-        assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
         std::fs::remove_file(path).ok();
     }
 

@@ -125,11 +125,17 @@ mod tests {
         let unweighted = |p: &[ProjectedEdge]| -> Vec<(u32, u32)> {
             p.iter().map(|&(a, b, _)| (a, b)).collect()
         };
-        assert_eq!(unweighted(&pa), unweighted(&pb), "same unweighted projection");
+        assert_eq!(
+            unweighted(&pa),
+            unweighted(&pb),
+            "same unweighted projection"
+        );
         // Butterflies are recoverable only from the *weights*:
         // ⋈ = Σ C(common, 2) over projected pairs.
         let butterflies = |p: &[ProjectedEdge]| -> u64 {
-            p.iter().map(|&(_, _, c)| (c as u64) * (c as u64 - 1) / 2).sum()
+            p.iter()
+                .map(|&(_, _, c)| (c as u64) * (c as u64 - 1) / 2)
+                .sum()
         };
         assert_eq!(butterflies(&pa), 0);
         assert_eq!(butterflies(&pb), 1);

@@ -60,10 +60,8 @@ impl RankedGraph {
 
         // Re-sort adjacency by neighbour rank with one keyed edge sort per
         // direction (parallel, O(m log m)).
-        let mut keyed: Vec<(VertexId, u32, VertexId)> = g
-            .edges()
-            .map(|(u, v)| (u, rank_v[v as usize], v))
-            .collect();
+        let mut keyed: Vec<(VertexId, u32, VertexId)> =
+            g.edges().map(|(u, v)| (u, rank_v[v as usize], v)).collect();
         keyed.par_sort_unstable();
         let u_adj: Vec<VertexId> = keyed.iter().map(|&(_, _, v)| v).collect();
         // Offsets match the source CSR (same degree sequence, re-sorted
@@ -73,10 +71,8 @@ impl RankedGraph {
             u_offsets[u + 1] = u_offsets[u] + g.deg_u(u as VertexId);
         }
 
-        let mut keyed_v: Vec<(VertexId, u32, VertexId)> = g
-            .edges()
-            .map(|(u, v)| (v, rank_u[u as usize], u))
-            .collect();
+        let mut keyed_v: Vec<(VertexId, u32, VertexId)> =
+            g.edges().map(|(u, v)| (v, rank_u[u as usize], u)).collect();
         keyed_v.par_sort_unstable();
         let v_adj: Vec<VertexId> = keyed_v.iter().map(|&(_, _, u)| u).collect();
         let mut v_offsets = vec![0usize; nv + 1];

@@ -113,8 +113,12 @@ mod tests {
 
     #[test]
     fn sum_of_endpoint_wedges_equals_total() {
-        let g = from_edges(4, 4, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (3, 0), (3, 3)])
-            .unwrap();
+        let g = from_edges(
+            4,
+            4,
+            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (3, 0), (3, 3)],
+        )
+        .unwrap();
         for side in [Side::U, Side::V] {
             let v = g.view(side);
             let per: u64 = wedges_per_primary(v).iter().sum();

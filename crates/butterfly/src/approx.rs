@@ -16,7 +16,7 @@
 
 use bigraph::{BipartiteCsr, SideGraph, VertexId};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Unbiased total-butterfly estimate from `samples` uniformly chosen
 /// primary vertices. Returns 0 for empty graphs. Deterministic for a fixed
@@ -75,10 +75,7 @@ pub fn sparsification_estimate(g: &BipartiteCsr, p: f64, seed: u64) -> f64 {
         return crate::naive::naive_total(g) as f64;
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let kept: Vec<(VertexId, VertexId)> = g
-        .edges()
-        .filter(|_| rng.random::<f64>() < p)
-        .collect();
+    let kept: Vec<(VertexId, VertexId)> = g.edges().filter(|_| rng.random::<f64>() < p).collect();
     let sample = bigraph::builder::from_edges(g.num_u(), g.num_v(), &kept)
         .expect("sparsified edges are in range");
     let exact = crate::count_graph(&sample).total();

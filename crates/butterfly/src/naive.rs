@@ -150,8 +150,12 @@ mod tests {
 
     #[test]
     fn shared_butterflies_pairwise() {
-        let g = from_edges(3, 3, &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0)])
-            .unwrap();
+        let g = from_edges(
+            3,
+            3,
+            &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0)],
+        )
+        .unwrap();
         let v = g.view(Side::U);
         // u0, u1 share 3 neighbours -> C(3,2) = 3 butterflies.
         assert_eq!(shared_butterflies(v, 0, 1), 3);

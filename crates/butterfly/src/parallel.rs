@@ -108,8 +108,7 @@ pub fn par_counts_with_filter(
         Side::U => assert_eq!(alive.len(), nu),
         Side::V => assert_eq!(alive.len(), nv),
     }
-    let live =
-        |x: VertexId| -> bool { alive[x as usize].load(Ordering::Relaxed) };
+    let live = |x: VertexId| -> bool { alive[x as usize].load(Ordering::Relaxed) };
 
     let cnt_u: Vec<AtomicU64> = (0..nu).map(|_| AtomicU64::new(0)).collect();
     let cnt_v: Vec<AtomicU64> = (0..nv).map(|_| AtomicU64::new(0)).collect();
@@ -202,8 +201,7 @@ mod tests {
                 bigraph::Side::U => 60,
                 bigraph::Side::V => 40,
             };
-            let alive: Vec<AtomicBool> =
-                (0..n).map(|i| AtomicBool::new(i % 4 != 1)).collect();
+            let alive: Vec<AtomicBool> = (0..n).map(|i| AtomicBool::new(i % 4 != 1)).collect();
             let filtered = par_counts_with_filter(&ranked, side, &alive);
 
             // Reference: physically remove the dead vertices' edges.

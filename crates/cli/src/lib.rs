@@ -27,13 +27,25 @@ pub enum Command {
         output: Option<String>,
     },
     /// `count <input> [--output FILE]`
-    Count { input: String, output: Option<String> },
+    Count {
+        input: String,
+        output: Option<String>,
+    },
     /// `ktips <input> -k N [--side U|V]`
-    KTips { input: String, side: Side, k: u64 },
+    KTips {
+        input: String,
+        side: Side,
+        k: u64,
+    },
     /// `stats <input>`
-    Stats { input: String },
+    Stats {
+        input: String,
+    },
     /// `generate <preset> [--output FILE]` — emit a dataset analog.
-    Generate { preset: String, output: Option<String> },
+    Generate {
+        preset: String,
+        output: Option<String>,
+    },
     Help,
 }
 
@@ -329,8 +341,16 @@ mod tests {
     #[test]
     fn parse_tip_flags() {
         let cmd = parse(&sv(&[
-            "tip", "g.tsv", "--side", "v", "--partitions", "42", "--no-dgm", "--stats",
-            "--output", "out.tsv",
+            "tip",
+            "g.tsv",
+            "--side",
+            "v",
+            "--partitions",
+            "42",
+            "--no-dgm",
+            "--stats",
+            "--output",
+            "out.tsv",
         ]))
         .unwrap();
         match cmd {

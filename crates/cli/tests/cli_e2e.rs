@@ -1,7 +1,7 @@
 //! Black-box tests of the `tipdecomp` binary: spawn the real executable
 //! and check its stdout/stderr/exit codes end to end.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn bin() -> Command {
@@ -15,7 +15,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 /// A small graph with a known decomposition: one butterfly + a pendant.
-fn write_fixture(dir: &PathBuf) -> PathBuf {
+fn write_fixture(dir: &Path) -> PathBuf {
     let path = dir.join("g.tsv");
     std::fs::write(&path, "% fixture\n0 0\n0 1\n1 0\n1 1\n2 0\n").unwrap();
     path
@@ -44,7 +44,11 @@ fn tip_pipeline_on_fixture() {
         .args(["tip", graph.to_str().unwrap(), "--stats"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // u0 and u1 form the butterfly (tip 1), u2 is pendant (tip 0).
     assert!(stdout.contains("0\t1"), "{stdout}");
@@ -63,10 +67,15 @@ fn generate_then_stats_round_trip() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    let out = bin().args(["stats", path.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["stats", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("|E| = 105493"), "{stdout}");
+    // Exact count is deterministic for the vendored PRNG (vendor/rand);
+    // regenerate this constant if the generator or PRNG stream changes.
+    assert!(stdout.contains("|E| = 105581"), "{stdout}");
     assert!(stdout.contains("butterflies"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -147,7 +147,11 @@ mod tests {
     impl Sim {
         fn new(pri: &[u64]) -> Self {
             Sim {
-                pri: pri.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect(),
+                pri: pri
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (i as u32, p))
+                    .collect(),
                 claimed: Vec::new(),
             }
         }

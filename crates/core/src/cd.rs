@@ -97,8 +97,7 @@ pub fn coarse_decompose(g: &BipartiteCsr, side: Side, config: &Config) -> Coarse
             subset.extend_from_slice(&active);
 
             let c_peel: u64 = active.iter().map(|&u| pg.peel_cost(u)).sum();
-            let use_recount =
-                config.huc && pg.live_count() > 0 && c_peel > pg.recount_cost();
+            let use_recount = config.huc && pg.live_count() > 0 && c_peel > pg.recount_cost();
 
             if use_recount {
                 // HUC (§4.1): re-count butterflies of the live subgraph
@@ -207,13 +206,7 @@ fn snapshot_alive(pg: &PeelGraph, support: &SupportVec, init: &mut [u64]) {
 /// returns `θ + 1` as the exclusive range bound. Implemented as the paper
 /// describes: aggregate wedge counts into a hashmap keyed by the (few)
 /// unique support values, sort the keys, prefix-scan.
-fn find_hi(
-    pg: &PeelGraph,
-    support: &SupportVec,
-    w: &[u64],
-    tgt: u64,
-    theta_lo: u64,
-) -> u64 {
+fn find_hi(pg: &PeelGraph, support: &SupportVec, w: &[u64], tgt: u64, theta_lo: u64) -> u64 {
     let work: std::collections::HashMap<u64, u64> = (0..pg.num_primary() as VertexId)
         .into_par_iter()
         .filter(|&u| pg.is_alive(u))

@@ -110,8 +110,14 @@ mod tests {
 
     #[test]
     fn effective_partitions_clamps() {
-        assert_eq!(Config::default().with_partitions(0).effective_partitions(), 1);
-        assert_eq!(Config::default().with_partitions(7).effective_partitions(), 7);
+        assert_eq!(
+            Config::default().with_partitions(0).effective_partitions(),
+            1
+        );
+        assert_eq!(
+            Config::default().with_partitions(7).effective_partitions(),
+            7
+        );
     }
 
     #[test]
@@ -122,7 +128,10 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let c = Config::default().with_partitions(42).with_threads(2).without_dgm();
+        let c = Config::default()
+            .with_partitions(42)
+            .with_threads(2)
+            .without_dgm();
         assert_eq!(c.partitions, 42);
         assert_eq!(c.threads, 2);
         assert!(!c.dgm);

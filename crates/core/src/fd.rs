@@ -46,9 +46,14 @@ pub fn fine_decompose(
     let results: Mutex<Vec<(VertexId, u64)>> = Mutex::new(Vec::with_capacity(n));
     let arity = config.heap_arity;
 
-    std::thread::scope(|scope| {
+    // rayon::scope (not std::thread::scope) so the workers inherit the
+    // ambient pool budget: nested parallel work inside a subset then splits
+    // by the configured thread count instead of falling back to all cores.
+    // (Each worker gets the full budget, so concurrent nested work can still
+    // reach threads² tasks — bounded by the config, unlike the std fallback.)
+    rayon::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| {
+            scope.spawn(|_| {
                 let mut local: Vec<(VertexId, u64)> = Vec::new();
                 let mut local_wedges = 0u64;
                 loop {
@@ -61,10 +66,7 @@ pub fn fine_decompose(
                         continue;
                     }
                     let induced = InducedGraph::new(view, subset);
-                    let sup: Vec<u64> = subset
-                        .iter()
-                        .map(|&u| init_support[u as usize])
-                        .collect();
+                    let sup: Vec<u64> = subset.iter().map(|&u| init_support[u as usize]).collect();
                     let (tips_local, wedges, recounts) = peel_subset_with_dgm(
                         &induced,
                         &sup,
@@ -177,8 +179,7 @@ pub fn peel_subset_with_dgm(
                 recounts += 1;
                 let (ranked, ext, alive) = huc_state.get_or_insert_with(|| {
                     let ranked = RankedGraph::from_csr(induced.csr());
-                    let pristine =
-                        butterfly::count::vertex_priority_counts(&ranked);
+                    let pristine = butterfly::count::vertex_priority_counts(&ranked);
                     let ext: Vec<u64> = init_support
                         .iter()
                         .zip(&pristine.u)
@@ -192,11 +193,7 @@ pub fn peel_subset_with_dgm(
                 // (get_or_insert_with ran before u was flagged dead above
                 // only on first trigger — flag it now to be safe.)
                 alive[u as usize].store(false, Ordering::Relaxed);
-                let rc = butterfly::parallel::par_counts_with_filter(
-                    ranked,
-                    Side::U,
-                    alive,
-                );
+                let rc = butterfly::parallel::par_counts_with_filter(ranked, Side::U, alive);
                 wedges += rc.wedges_traversed;
                 for v in 0..n as VertexId {
                     if heap.contains(v) {

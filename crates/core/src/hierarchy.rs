@@ -182,7 +182,16 @@ mod tests {
         let g = from_edges(
             4,
             4,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (3, 2), (3, 3)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 2),
+                (2, 3),
+                (3, 2),
+                (3, 3),
+            ],
         )
         .unwrap();
         let tips = tip_decompose(&g, Side::U, &Config::default()).tip;

@@ -37,11 +37,11 @@ pub mod config;
 pub mod fd;
 pub mod fibheap;
 pub mod heap;
-pub mod queue;
 pub mod hierarchy;
 pub mod metrics;
 pub mod parb;
 pub mod peel;
+pub mod queue;
 pub mod support;
 pub mod wing;
 pub mod wing_parallel;

@@ -86,10 +86,9 @@ pub fn parb_decompose(g: &BipartiteCsr, side: Side, heap_arity_unused: usize) ->
                 .par_iter()
                 .fold(Vec::new, |mut acc, &u| {
                     let mut scratch = scratch_pool.acquire();
-                    let w =
-                        peel_vertex(&view, u, theta, &support, &alive, &mut scratch, |u2| {
-                            acc.push(u2)
-                        });
+                    let w = peel_vertex(&view, u, theta, &support, &alive, &mut scratch, |u2| {
+                        acc.push(u2)
+                    });
                     wedges.add(w);
                     acc
                 })

@@ -243,8 +243,11 @@ impl PeelGraph {
 
     /// Unconditional compaction, preserving ranks and rank order.
     pub fn compact_now(&mut self) {
-        let alive_primary: Vec<bool> =
-            self.alive.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        let alive_primary: Vec<bool> = self
+            .alive
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
         let all_secondary = vec![true; self.num_secondary()];
         self.current = match self.side {
             Side::U => self.current.compact(&alive_primary, &all_secondary),
@@ -360,7 +363,9 @@ mod tests {
         alive[2].store(false, Ordering::Relaxed); // dead: no update
         let mut scratch = PeelScratch::new(3);
         let mut updated = Vec::new();
-        peel_vertex(&view, 0, 5, &support, &alive, &mut scratch, |u| updated.push(u));
+        peel_vertex(&view, 0, 5, &support, &alive, &mut scratch, |u| {
+            updated.push(u)
+        });
         assert_eq!(support.get(1), 5, "clamped at floor");
         assert_eq!(support.get(2), 6, "dead vertex untouched");
         assert_eq!(updated, vec![1]);
@@ -441,7 +446,7 @@ mod tests {
         pg.kill_batch(&dead);
         let stale = pg.recount_live();
         let alive_u: Vec<bool> = (0..50).map(|u| u % 3 != 0).collect();
-        let fresh_csr = bigraph::compact::compact(&g, &alive_u, &vec![true; 30]);
+        let fresh_csr = bigraph::compact::compact(&g, &alive_u, &[true; 30]);
         let fresh = butterfly::count_graph(&fresh_csr);
         assert_eq!(stale.u, fresh.u);
         assert_eq!(stale.v, fresh.v);

@@ -48,7 +48,10 @@ impl SupportVec {
 
     /// Copies current values out.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Parallel iteration over `(id, value)` pairs.

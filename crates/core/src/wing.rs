@@ -91,7 +91,9 @@ pub fn wing_decompose(view: SideGraph<'_>, heap_arity: usize) -> WingDecompositi
             if v2 == v {
                 continue;
             }
-            let Some(e_uv2) = index.id(view, u, v2) else { continue };
+            let Some(e_uv2) = index.id(view, u, v2) else {
+                continue;
+            };
             if !heap.contains(e_uv2 as u32) {
                 continue; // (u, v2) already peeled: those butterflies died
             }
@@ -172,7 +174,9 @@ pub fn kwing_components(
             if v2 <= v {
                 continue; // enumerate each butterfly once per (v, v2) pair
             }
-            let Some(e2) = index.id(view, u, v2) else { continue };
+            let Some(e2) = index.id(view, u, v2) else {
+                continue;
+            };
             if !qualifies(e2) {
                 continue;
             }
@@ -189,15 +193,12 @@ pub fn kwing_components(
                         if u2 <= u {
                             continue; // and once per (u, u2) pair
                         }
-                        let (Some(e3), Some(e4)) =
-                            (index.id(view, u2, v), index.id(view, u2, v2))
+                        let (Some(e3), Some(e4)) = (index.id(view, u2, v), index.id(view, u2, v2))
                         else {
                             continue;
                         };
                         if qualifies(e3) && qualifies(e4) {
-                            for &(a, b) in
-                                &[(e, e2), (e, e3), (e, e4)]
-                            {
+                            for &(a, b) in &[(e, e2), (e, e3), (e, e4)] {
                                 let (ra, rb) =
                                     (find(&mut parent, a as u32), find(&mut parent, b as u32));
                                 if ra != rb {
@@ -243,12 +244,9 @@ pub fn naive_wing_decompose(view: SideGraph<'_>) -> WingDecomposition {
             .filter(|(_, &a)| a)
             .map(|(&e, _)| e)
             .collect();
-        let sub = bigraph::builder::from_edges(
-            view.num_primary(),
-            view.num_secondary(),
-            &live_edges,
-        )
-        .unwrap();
+        let sub =
+            bigraph::builder::from_edges(view.num_primary(), view.num_secondary(), &live_edges)
+                .unwrap();
         let sub_counts = butterfly::per_edge::per_edge_counts(sub.view(bigraph::Side::U));
         // Map live-edge counts back to original ids (same sort order).
         let mut live_ids: Vec<usize> = (0..m).filter(|&e| alive[e]).collect();
@@ -344,7 +342,16 @@ mod tests {
         let g = from_edges(
             4,
             4,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (3, 2), (3, 3)],
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 2),
+                (2, 3),
+                (3, 2),
+                (3, 3),
+            ],
         )
         .unwrap();
         let view = g.view(Side::U);
@@ -362,8 +369,14 @@ mod tests {
         let view = g.view(Side::U);
         let d = wing_decompose(view, 4);
         let wmax = d.max_wing();
-        let hi: Vec<usize> = kwing_components(view, &d, wmax).into_iter().flatten().collect();
-        let lo: Vec<usize> = kwing_components(view, &d, 1).into_iter().flatten().collect();
+        let hi: Vec<usize> = kwing_components(view, &d, wmax)
+            .into_iter()
+            .flatten()
+            .collect();
+        let lo: Vec<usize> = kwing_components(view, &d, 1)
+            .into_iter()
+            .flatten()
+            .collect();
         for e in &hi {
             assert!(lo.contains(e), "edge {e} lost down-hierarchy");
         }

@@ -199,9 +199,10 @@ pub fn receipt_wing_decompose(
     order.sort_unstable_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
 
     let threads = rayon::current_num_threads().min(subsets.len().max(1));
-    std::thread::scope(|scope| {
+    // rayon::scope so workers inherit the ambient pool budget (see fd.rs).
+    rayon::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| {
+            scope.spawn(|_| {
                 let mut local: Vec<(u32, u64)> = Vec::new();
                 let mut local_work = 0u64;
                 loop {
@@ -291,7 +292,9 @@ fn propagate_edge_peel(
         if v2 == v {
             continue;
         }
-        let Some(e_uv2) = index.id(view, u, v2) else { continue };
+        let Some(e_uv2) = index.id(view, u, v2) else {
+            continue;
+        };
         let e_uv2 = e_uv2 as u32;
         let s_uv2 = state(e_uv2);
         if s_uv2 == EdgeState::DeadPrior {
@@ -311,8 +314,7 @@ fn propagate_edge_peel(
                     if u2 == u {
                         continue;
                     }
-                    let (Some(e3), Some(e4)) =
-                        (index.id(view, u2, v), index.id(view, u2, v2))
+                    let (Some(e3), Some(e4)) = (index.id(view, u2, v), index.id(view, u2, v2))
                     else {
                         continue;
                     };
@@ -408,7 +410,9 @@ fn refine_wing_subset(
             if v2 == v {
                 continue;
             }
-            let Some(e2) = index.id(view, u, v2) else { continue };
+            let Some(e2) = index.id(view, u, v2) else {
+                continue;
+            };
             let Some(l2) = live(&heap, &local_of, subset_label, sid, e2 as u32) else {
                 continue;
             };
@@ -426,8 +430,7 @@ fn refine_wing_subset(
                         if u2 == u {
                             continue;
                         }
-                        let (Some(e3), Some(e4)) =
-                            (index.id(view, u2, v), index.id(view, u2, v2))
+                        let (Some(e3), Some(e4)) = (index.id(view, u2, v), index.id(view, u2, v2))
                         else {
                             continue;
                         };

@@ -92,6 +92,20 @@ mod tests {
     }
 
     #[test]
+    fn sub_lands_exactly_on_floor() {
+        // Lemma 2 boundary: a decrement whose saturated result equals the
+        // floor must store exactly the floor, and every later decrement is
+        // then a no-op that still reports the floor as the observed value.
+        let c = AtomicU64::new(7);
+        let prev = saturating_sub_floor(&c, 3, 4);
+        assert_eq!(prev, 7);
+        assert_eq!(c.load(Ordering::Relaxed), 4);
+        let prev = saturating_sub_floor(&c, 3, 4);
+        assert_eq!(prev, 4);
+        assert_eq!(c.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
     fn sub_at_floor_is_noop() {
         let c = AtomicU64::new(4);
         let prev = saturating_sub_floor(&c, 1, 4);

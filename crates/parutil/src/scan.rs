@@ -36,7 +36,9 @@ pub fn par_exclusive_prefix_sum(values: &mut [u64]) -> u64 {
     if values.len() <= SEQ_CUTOFF {
         return exclusive_prefix_sum(values);
     }
-    let chunk = values.len().div_ceil(rayon::current_num_threads().max(1) * 4);
+    let chunk = values
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1) * 4);
     // Pass 1: per-chunk totals.
     let mut chunk_totals: Vec<u64> = values.par_chunks(chunk).map(|c| c.iter().sum()).collect();
     let total = exclusive_prefix_sum(&mut chunk_totals);
@@ -81,6 +83,25 @@ mod tests {
         let mut v: Vec<u64> = vec![];
         assert_eq!(exclusive_prefix_sum(&mut v), 0);
         assert_eq!(par_exclusive_prefix_sum(&mut v), 0);
+        assert_eq!(inclusive_prefix_sum(&mut v), 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn length_one_slices() {
+        // Exclusive: the single slot becomes the 0 seed, total is its value.
+        let mut v = vec![9u64];
+        assert_eq!(exclusive_prefix_sum(&mut v), 9);
+        assert_eq!(v, vec![0]);
+
+        let mut v = vec![9u64];
+        assert_eq!(par_exclusive_prefix_sum(&mut v), 9);
+        assert_eq!(v, vec![0]);
+
+        // Inclusive: a singleton is its own running total.
+        let mut v = vec![9u64];
+        assert_eq!(inclusive_prefix_sum(&mut v), 9);
+        assert_eq!(v, vec![9]);
     }
 
     #[test]

@@ -32,7 +32,12 @@ fn main() {
     // Walk down the hierarchy: at each level the k-tips are the research
     // groups at that cohesion threshold; lowering k merges them.
     let view = graph.view(Side::U);
-    let levels = [theta_max, theta_max / 4, theta_max / 16, 1.max(theta_max / 64)];
+    let levels = [
+        theta_max,
+        theta_max / 4,
+        theta_max / 16,
+        1.max(theta_max / 64),
+    ];
     let mut previous_groups = usize::MAX;
     for &k in &levels {
         let groups = hierarchy::ktip_components(view, tips, k);

@@ -12,10 +12,17 @@ fn main() {
     // u4 only makes it into the 1-tip.
     let graph = GraphBuilder::new(4, 4)
         .add_edges([
-            (0, 0), (0, 1),                  // u1 - {v1, v2}
-            (1, 0), (1, 1), (1, 2),          // u2 - {v1, v2, v3}
-            (2, 0), (2, 1), (2, 2), (2, 3),  // u3 - {v1..v4}
-            (3, 2), (3, 3),                  // u4 - {v3, v4}
+            (0, 0),
+            (0, 1), // u1 - {v1, v2}
+            (1, 0),
+            (1, 1),
+            (1, 2), // u2 - {v1, v2, v3}
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (2, 3), // u3 - {v1..v4}
+            (3, 2),
+            (3, 3), // u4 - {v3, v4}
         ])
         .build()
         .expect("valid edge list");

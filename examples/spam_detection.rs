@@ -62,7 +62,10 @@ fn main() {
 
     // The spam ring shows up as one tight k-tip near the top of the
     // hierarchy: pick k as the lowest spammer tip number and extract it.
-    let k = (0..SPAMMERS as u32).map(|u| tips[u as usize]).min().unwrap();
+    let k = (0..SPAMMERS as u32)
+        .map(|u| tips[u as usize])
+        .min()
+        .unwrap();
     let components = hierarchy::ktip_components(graph.view(Side::U), tips, k);
     let ring = components
         .iter()

@@ -39,8 +39,8 @@ fn main() {
     let mut in_block = Vec::new();
     let mut stray = Vec::new();
     for (e, &(u, v)) in wings.edges.iter().enumerate() {
-        let block = (u / 6) as u32;
-        if u < 18 && v / 6 == block && (v % 6) < 6 && (u % 60) < 18 && v < 18 {
+        let block = u / 6;
+        if u < 18 && v < 18 && v / 6 == block {
             in_block.push(wings.wing[e]);
         } else if u < 18 {
             stray.push(wings.wing[e]);

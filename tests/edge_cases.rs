@@ -72,8 +72,14 @@ fn complete_bipartite_closed_form() {
             r.tip
         );
         // And the baselines agree on the closed form.
-        assert!(bup::bup_decompose(&g, Side::U, 4).tip.iter().all(|&t| t == expected));
-        assert!(parb::parb_decompose(&g, Side::U, 4).tip.iter().all(|&t| t == expected));
+        assert!(bup::bup_decompose(&g, Side::U, 4)
+            .tip
+            .iter()
+            .all(|&t| t == expected));
+        assert!(parb::parb_decompose(&g, Side::U, 4)
+            .tip
+            .iter()
+            .all(|&t| t == expected));
     }
 }
 
@@ -136,8 +142,10 @@ fn dgm_threshold_extremes() {
     let truth = bup::bup_decompose(&g, Side::U, 4).tip;
     // Compact after every iteration (threshold 0) and never (huge).
     for threshold in [0.0f64, 1e18] {
-        let mut cfg = Config::default();
-        cfg.dgm_threshold = threshold;
+        let cfg = Config {
+            dgm_threshold: threshold,
+            ..Config::default()
+        };
         let r = tip_decompose(&g, Side::U, &cfg);
         assert_eq!(truth, r.tip, "threshold {threshold}");
     }
@@ -149,8 +157,10 @@ fn heap_arity_extremes() {
     let truth = bup::bup_decompose(&g, Side::U, 4).tip;
     for arity in [1usize, 2, 16, 64] {
         // Arity 1 clamps to 2 internally.
-        let mut cfg = Config::default();
-        cfg.heap_arity = arity;
+        let cfg = Config {
+            heap_arity: arity,
+            ..Config::default()
+        };
         assert_eq!(truth, tip_decompose(&g, Side::U, &cfg).tip, "arity {arity}");
     }
 }

@@ -1,0 +1,644 @@
+//! Parallel iterator subset.
+//!
+//! Every pipeline is a tree of adapter structs; a terminal method asks the
+//! tree for up to `current_num_threads()` independent [`Part`]s (an ordered
+//! sequential iterator plus its global start offset) and drives them on
+//! scoped threads via [`crate::run_parts`]. Sources split by index
+//! arithmetic, so no items are materialized before the per-item work runs —
+//! except `zip`, which aligns its two sides eagerly.
+
+use crate::{run_parts, share, split_spans};
+
+/// One independently drivable slice of a parallel pipeline.
+pub struct Part<'a, T> {
+    /// Global index of the part's first item (pre-`filter` numbering).
+    pub(crate) offset: usize,
+    pub(crate) iter: Box<dyn Iterator<Item = T> + Send + 'a>,
+}
+
+impl<'a, T> Part<'a, T> {
+    fn new(offset: usize, iter: impl Iterator<Item = T> + Send + 'a) -> Self {
+        Part {
+            offset,
+            iter: Box::new(iter),
+        }
+    }
+}
+
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Splits into at most `n` parts, in item order.
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, Self::Item>>
+    where
+        Self: 'a;
+
+    fn map<F, O>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> O + Send + Sync,
+        O: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    fn filter<P>(self, predicate: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter {
+            inner: self,
+            predicate,
+        }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Per-part sequential fold; yields one accumulator per part (combine
+    /// with [`ParallelIterator::reduce`], as rayon pipelines do).
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Send + Sync,
+        F: Fn(A, Self::Item) -> A + Send + Sync,
+    {
+        Fold {
+            inner: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Send + Sync,
+    {
+        let parts = self.parts(crate::current_num_threads());
+        run_parts(parts, |it| it.for_each(&op));
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let parts = self.parts(crate::current_num_threads());
+        let partials = run_parts(parts, |it| it.fold(identity(), &op));
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let parts = self.parts(crate::current_num_threads());
+        run_parts(parts, |it| it.sum::<S>()).into_iter().sum()
+    }
+
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let parts = self.parts(crate::current_num_threads());
+        let partials = run_parts(parts, Iterator::max);
+        partials.into_iter().flatten().max()
+    }
+
+    fn count(self) -> usize {
+        let parts = self.parts(crate::current_num_threads());
+        run_parts(parts, Iterator::count).into_iter().sum()
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let parts = self.parts(crate::current_num_threads());
+        run_parts(parts, |it| it.collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+pub struct VecParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, T>>
+    where
+        Self: 'a,
+    {
+        let spans = split_spans(self.items.len(), n);
+        let mut items = self.items;
+        let mut out: Vec<Part<'a, T>> = Vec::with_capacity(spans.len());
+        // Split back-to-front so each split_off is O(part size).
+        for &(start, _end) in spans.iter().rev() {
+            let tail = items.split_off(start);
+            out.push(Part::new(start, tail.into_iter()));
+        }
+        out.reverse();
+        out
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+pub struct RangeParIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn parts<'a>(self, n: usize) -> Vec<Part<'a, $t>>
+            where
+                Self: 'a,
+            {
+                let len = (self.end.saturating_sub(self.start)) as usize;
+                split_spans(len, n)
+                    .into_iter()
+                    .map(|(s, e)| {
+                        let lo = self.start + s as $t;
+                        let hi = self.start + e as $t;
+                        Part::new(s, lo..hi)
+                    })
+                    .collect()
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                RangeParIter {
+                    start: self.start,
+                    end: self.end,
+                }
+            }
+        }
+    )*};
+}
+impl_range_source!(u32, u64, usize);
+
+pub struct ParSlice<'data, T: Sync> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParSlice<'data, T> {
+    type Item = &'data T;
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, &'data T>>
+    where
+        Self: 'a,
+    {
+        split_spans(self.slice.len(), n)
+            .into_iter()
+            .map(|(s, e)| Part::new(s, self.slice[s..e].iter()))
+            .collect()
+    }
+}
+
+pub struct ParSliceMut<'data, T: Send> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParallelIterator for ParSliceMut<'data, T> {
+    type Item = &'data mut T;
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, &'data mut T>>
+    where
+        Self: 'a,
+    {
+        let spans = split_spans(self.slice.len(), n);
+        let mut rest = self.slice;
+        let mut consumed = 0;
+        let mut out = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            let (head, tail) = rest.split_at_mut(e - consumed);
+            debug_assert_eq!(head.len(), e - s);
+            out.push(Part::new(s, head.iter_mut()));
+            rest = tail;
+            consumed = e;
+        }
+        out
+    }
+}
+
+pub struct ParChunks<'data, T: Sync> {
+    slice: &'data [T],
+    size: usize,
+}
+
+impl<'data, T: Sync> ParallelIterator for ParChunks<'data, T> {
+    type Item = &'data [T];
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, &'data [T]>>
+    where
+        Self: 'a,
+    {
+        let nchunks = self.slice.len().div_ceil(self.size.max(1));
+        let size = self.size.max(1);
+        split_spans(nchunks, n)
+            .into_iter()
+            .map(|(s, e)| {
+                let lo = s * size;
+                let hi = (e * size).min(self.slice.len());
+                Part::new(s, self.slice[lo..hi].chunks(size))
+            })
+            .collect()
+    }
+}
+
+pub struct ParChunksMut<'data, T: Send> {
+    slice: &'data mut [T],
+    size: usize,
+}
+
+impl<'data, T: Send> ParallelIterator for ParChunksMut<'data, T> {
+    type Item = &'data mut [T];
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, &'data mut [T]>>
+    where
+        Self: 'a,
+    {
+        let size = self.size.max(1);
+        let nchunks = self.slice.len().div_ceil(size);
+        let spans = split_spans(nchunks, n);
+        let mut rest = self.slice;
+        let mut consumed = 0;
+        let mut out = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            let hi = (e * size).min(consumed + rest.len());
+            let (head, tail) = rest.split_at_mut(hi - consumed);
+            out.push(Part::new(s, head.chunks_mut(size)));
+            rest = tail;
+            consumed = hi;
+        }
+        out
+    }
+}
+
+/// `par_iter`/`par_chunks` on shared slices (and anything derefing to one).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParSlice<'_, T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice { slice: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut`/`par_sort_unstable` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+        ParSliceMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        // Sequential; a parallel merge sort is a planned upgrade.
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        self.sort_unstable_by(compare);
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+// --------------------------------------------------------------- adapters
+
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, O> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> O + Send + Sync,
+    O: Send,
+{
+    type Item = O;
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, O>>
+    where
+        Self: 'a,
+    {
+        let f = share(self.f);
+        self.inner
+            .parts(n)
+            .into_iter()
+            .map(|p| {
+                let f = f.clone();
+                Part {
+                    offset: p.offset,
+                    iter: Box::new(p.iter.map(move |x| f(x))),
+                }
+            })
+            .collect()
+    }
+}
+
+pub struct Filter<I, P> {
+    inner: I,
+    predicate: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Send + Sync,
+{
+    type Item = I::Item;
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, I::Item>>
+    where
+        Self: 'a,
+    {
+        let p = share(self.predicate);
+        self.inner
+            .parts(n)
+            .into_iter()
+            .map(|part| {
+                let p = p.clone();
+                Part {
+                    offset: part.offset,
+                    iter: Box::new(part.iter.filter(move |x| p(x))),
+                }
+            })
+            .collect()
+    }
+}
+
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: ParallelIterator,
+{
+    type Item = (usize, I::Item);
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, (usize, I::Item)>>
+    where
+        Self: 'a,
+    {
+        self.inner
+            .parts(n)
+            .into_iter()
+            .map(|p| {
+                let offset = p.offset;
+                Part {
+                    offset,
+                    iter: Box::new(p.iter.enumerate().map(move |(i, x)| (offset + i, x))),
+                }
+            })
+            .collect()
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, (A::Item, B::Item)>>
+    where
+        Self: 'a,
+    {
+        // Materialize both sides (cheap: zipped pipelines carry references)
+        // so the pair boundaries align regardless of how each side splits.
+        let left: Vec<A::Item> = self.a.parts(1).into_iter().flat_map(|p| p.iter).collect();
+        let right: Vec<B::Item> = self.b.parts(1).into_iter().flat_map(|p| p.iter).collect();
+        let pairs: Vec<(A::Item, B::Item)> = left.into_iter().zip(right).collect();
+        VecParIter { items: pairs }.parts(n)
+    }
+}
+
+pub struct Fold<I, ID, F> {
+    inner: I,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, A, ID, F> ParallelIterator for Fold<I, ID, F>
+where
+    I: ParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Send + Sync,
+    F: Fn(A, I::Item) -> A + Send + Sync,
+{
+    type Item = A;
+
+    fn parts<'a>(self, n: usize) -> Vec<Part<'a, A>>
+    where
+        Self: 'a,
+    {
+        let identity = share(self.identity);
+        let fold_op = share(self.fold_op);
+        self.inner
+            .parts(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let identity = identity.clone();
+                let fold_op = fold_op.clone();
+                Part {
+                    offset: i,
+                    iter: Box::new(std::iter::once_with(move || {
+                        p.iter.fold(identity(), |acc, x| fold_op(acc, x))
+                    })),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_sum_and_collect() {
+        let s: u64 = (0u64..1000).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+        let v: Vec<u32> = (0u32..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..100).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn enumerate_offsets_are_global() {
+        let v: Vec<(usize, u32)> = (10u32..30).into_par_iter().enumerate().collect();
+        for (i, x) in v {
+            assert_eq!(x, 10 + i as u32);
+        }
+    }
+
+    #[test]
+    fn filter_fold_reduce_pipeline() {
+        let total = (0u64..10_000)
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .fold(|| 0u64, |a, x| a + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0u64..10_000).filter(|x| x % 3 == 0).sum::<u64>());
+    }
+
+    #[test]
+    fn slice_iterators() {
+        let data: Vec<u64> = (0..257).collect();
+        let s: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 257 * 256 / 2);
+
+        let mut v = vec![1u64; 100];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+
+        let sums: Vec<u64> = data.par_chunks(50).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 6);
+        assert_eq!(sums.iter().sum::<u64>(), s);
+    }
+
+    #[test]
+    fn chunks_mut_with_zip() {
+        let mut v: Vec<u64> = (0..100).collect();
+        let adds: Vec<u64> = (0..10).collect();
+        v.par_chunks_mut(10)
+            .zip(adds.par_iter())
+            .for_each(|(chunk, &a)| {
+                for x in chunk {
+                    *x += a * 1000;
+                }
+            });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 + (i as u64 / 10) * 1000);
+        }
+    }
+
+    #[test]
+    fn max_and_count() {
+        assert_eq!((0u32..57).into_par_iter().max(), Some(56));
+        assert_eq!((0u32..0).into_par_iter().max(), None);
+        assert_eq!((0u32..57).into_par_iter().filter(|&x| x < 7).count(), 7);
+    }
+
+    #[test]
+    fn vec_into_par_preserves_order() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let out: Vec<String> = v.clone().into_par_iter().collect();
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let n = pool.install(crate::current_num_threads);
+        assert_eq!(n, 3);
+        assert_eq!(
+            pool.install(|| (0u64..100).into_par_iter().sum::<u64>()),
+            4950
+        );
+    }
+
+    #[test]
+    fn scope_spawn_joins() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 8);
+    }
+}

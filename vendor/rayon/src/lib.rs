@@ -1,0 +1,209 @@
+//! Offline vendored shim for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of rayon the workspace uses on top of `std::thread::scope`:
+//!
+//! * parallel iterators over ranges, vectors, and slices with the adapters
+//!   the algorithms need (`map`, `filter`, `enumerate`, `zip`, `fold`,
+//!   `reduce`, `for_each`, `sum`, `max`, `collect`);
+//! * `ThreadPoolBuilder`/`ThreadPool::install` and `current_num_threads`,
+//!   implemented as a thread-local *parallelism budget* — `install` scopes
+//!   the budget, and every parallel terminal splits its input into that many
+//!   parts, each driven on its own scoped thread;
+//! * `scope`/`Scope::spawn` forwarded to `std::thread::scope`.
+//!
+//! Semantic differences from real rayon, acceptable for correctness-first
+//! use (see ROADMAP "Open items" for the planned work-stealing upgrade):
+//! threads are spawned per terminal operation instead of pooled, there is
+//! no work stealing, and `par_sort_unstable` sorts sequentially.
+//! `enumerate` indices are only meaningful when no `filter` precedes them —
+//! same as rayon, where `filter` drops `IndexedParallelIterator`.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+pub mod iter;
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    /// 0 = unset; parallel terminals then use the machine's parallelism.
+    static POOL_SIZE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of threads the ambient "pool" grants to parallel work.
+pub fn current_num_threads() -> usize {
+    let n = POOL_SIZE.with(Cell::get);
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Restores the previous parallelism budget on drop (panic-safe).
+struct BudgetGuard {
+    prev: usize,
+}
+
+impl BudgetGuard {
+    fn set(n: usize) -> Self {
+        BudgetGuard {
+            prev: POOL_SIZE.with(|c| c.replace(n)),
+        }
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        POOL_SIZE.with(|c| c.set(self.prev));
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 means "use the default parallelism", like rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let size = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { size })
+    }
+}
+
+/// A parallelism budget masquerading as a pool: `install` makes
+/// `current_num_threads()` report this pool's size inside `f`, which is what
+/// sizes every parallel split performed within.
+#[derive(Debug)]
+pub struct ThreadPool {
+    size: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = BudgetGuard::set(self.size);
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.size
+    }
+}
+
+/// Fork-join scope; all tasks spawned on it complete before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    budget: usize,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        let budget = self.budget;
+        inner.spawn(move || {
+            let _guard = BudgetGuard::set(budget);
+            f(&Scope { inner, budget });
+        });
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let budget = current_num_threads();
+    std::thread::scope(|s| f(&Scope { inner: s, budget }))
+}
+
+/// Splits `0..len` into at most `parts` non-empty contiguous spans.
+pub(crate) fn split_spans(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Drives each part on its own scoped thread (inline when there is only
+/// one), returning per-part results in part order. Panics propagate with
+/// their original payload.
+pub(crate) fn run_parts<'a, T, R, F>(parts: Vec<iter::Part<'a, T>>, job: F) -> Vec<R>
+where
+    T: Send + 'a,
+    R: Send,
+    F: Fn(Box<dyn Iterator<Item = T> + Send + 'a>) -> R + Sync,
+{
+    if parts.len() <= 1 {
+        return parts.into_iter().map(|p| job(p.iter)).collect();
+    }
+    let budget = current_num_threads();
+    std::thread::scope(|s| {
+        let job = &job;
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|p| {
+                s.spawn(move || {
+                    let _guard = BudgetGuard::set(budget);
+                    job(p.iter)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Shared closure handle for adapter parts; avoids requiring `F: Clone`.
+pub(crate) type Fun<F> = Arc<F>;
+
+pub(crate) fn share<F>(f: F) -> Fun<F> {
+    Arc::new(f)
+}

@@ -1,0 +1,16 @@
+//! Offline vendored shim for the `serde` crate.
+//!
+//! Provides marker `Serialize`/`Deserialize` traits and re-exports the
+//! no-op derives from the sibling `serde_derive` shim. The workspace
+//! currently only tags types as serializable; when real serialization
+//! lands, replace both path dependencies with the actual crates — call
+//! sites (`use serde::{Deserialize, Serialize}` + `#[derive(...)]`)
+//! are already written against the real API.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
