@@ -6,6 +6,7 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
 use std::hint::black_box;
 
 fn bench_kernels(c: &mut Criterion) {
@@ -104,6 +105,37 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("gen_zipf_30k_edges", |b| {
         b.iter(|| black_box(bigraph::gen::zipf(12_000, 5_000, 30_000, 0.5, 1.1, 7)))
     });
+
+    // Parallel merge sort in the rayon shim: 1M random u64 across budgets.
+    // Every RECEIPT phase that ranks or relabels funnels through
+    // par_sort_unstable*, so this is the scaling-critical kernel. The
+    // vendored criterion has no iter_batched, so each iteration includes
+    // the ~8MB clone; that constant is identical across budgets but does
+    // NOT cancel in ratios — it dilutes measured speedups, so cross-budget
+    // ratios from this bench are a lower bound on the sort-only speedup.
+    let unsorted: Vec<u64> = (0..1_000_000u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i >> 11))
+        .collect();
+    group.bench_function("sort_1m_u64_std_seq", |b| {
+        b.iter(|| {
+            let mut v = unsorted.clone();
+            v.sort_unstable();
+            black_box(v.len())
+        })
+    });
+    for budget in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("par_sort_1m_u64", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let mut v = unsorted.clone();
+                    parutil::with_pool(budget, || v.par_sort_unstable());
+                    black_box(v.len())
+                })
+            },
+        );
+    }
 
     group.finish();
 }

@@ -46,11 +46,13 @@ pub fn fine_decompose(
     let results: Mutex<Vec<(VertexId, u64)>> = Mutex::new(Vec::with_capacity(n));
     let arity = config.heap_arity;
 
-    // rayon::scope (not std::thread::scope) so the workers inherit the
-    // ambient pool budget: nested parallel work inside a subset then splits
-    // by the configured thread count instead of falling back to all cores.
-    // (Each worker gets the full budget, so concurrent nested work can still
-    // reach threads² tasks — bounded by the config, unlike the std fallback.)
+    // rayon::scope (not std::thread::scope) for two reasons: the workers
+    // run as persistent-pool jobs — reused threads, no per-call spawning —
+    // and they inherit the ambient pool budget, so nested parallel work
+    // inside a subset splits by the configured thread count instead of
+    // falling back to all cores. (Each worker gets the full budget, so
+    // concurrent nested work can still reach threads² queued jobs —
+    // bounded by the config, and serviced by the fixed worker set.)
     rayon::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {

@@ -2,7 +2,10 @@
 //!
 //! The paper's scalability study (Figures 10–11) sweeps 1–36 threads. Rayon's
 //! global pool is fixed at startup, so the harness runs each configuration
-//! inside a locally built pool of the exact requested size.
+//! inside a locally built pool of the exact requested size. (Under the
+//! vendored shim a `ThreadPool` is a parallelism *budget* over one shared
+//! persistent worker set, so building pools per configuration is cheap and
+//! the OS threads are reused across configurations.)
 
 /// Runs `f` inside a freshly built rayon pool with exactly `threads` workers.
 /// All rayon parallel iterators invoked (transitively) from `f` execute on

@@ -1,0 +1,159 @@
+//! Integration tests for the rayon shim's persistent worker pool and
+//! parallel merge sort: `par_sort_unstable*` against `std` sorting over
+//! adversarial input shapes and budgets, budget capping under nested
+//! `install`, and the pool-reuse regression (parallel terminals must not
+//! spawn fresh threads per call).
+
+use parutil::with_pool;
+use proptest::prelude::*;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// SplitMix-style keys: uncorrelated with index order.
+fn key(i: u64) -> u64 {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i >> 9)
+}
+
+/// Input shapes the sort must handle: random, pre-sorted, reverse-sorted,
+/// and duplicate-heavy (many equal keys stress the merge split).
+fn shapes(n: u64) -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("random", (0..n).map(key).collect()),
+        ("sorted", (0..n).collect()),
+        ("reverse", (0..n).rev().collect()),
+        ("dup-heavy", (0..n).map(|i| key(i) % 7).collect()),
+    ]
+}
+
+#[test]
+fn par_sort_matches_std_on_all_shapes_and_budgets() {
+    // 20_000 clears the ~4k sequential cutoff, so merges really run.
+    for (shape, data) in shapes(20_000) {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for budget in 1..=8usize {
+            let mut v = data.clone();
+            with_pool(budget, || v.par_sort_unstable());
+            assert_eq!(v, expect, "shape {shape}, budget {budget}");
+        }
+    }
+}
+
+#[test]
+fn par_sort_by_and_by_key_match_std() {
+    let data: Vec<u64> = (0..30_000).map(key).collect();
+    for budget in [1usize, 3, 8] {
+        let mut by = data.clone();
+        with_pool(budget, || by.par_sort_unstable_by(|a, b| b.cmp(a)));
+        let mut expect = data.clone();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(by, expect, "by, budget {budget}");
+
+        let mut by_key = data.clone();
+        with_pool(budget, || by_key.par_sort_unstable_by_key(|&x| x % 1024));
+        let mut expect = data.clone();
+        expect.sort_unstable_by_key(|&x| x % 1024);
+        // Unstable sort: only the key order is pinned down.
+        let keys = |v: &[u64]| v.iter().map(|&x| x % 1024).collect::<Vec<_>>();
+        assert_eq!(keys(&by_key), keys(&expect), "by_key, budget {budget}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn par_sort_equals_std_sort(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..9000),
+        budget in 1usize..9,
+        dup_mod in 1u64..32,
+    ) {
+        // Also exercise a duplicate-heavy projection of the same vector.
+        for v in [xs.clone(), xs.iter().map(|x| x % dup_mod).collect::<Vec<_>>()] {
+            let mut par = v.clone();
+            with_pool(budget, || par.par_sort_unstable());
+            let mut expect = v;
+            expect.sort_unstable();
+            prop_assert_eq!(par, expect);
+        }
+    }
+}
+
+#[test]
+fn nested_install_budgets_cap_concurrency() {
+    // Inside an inner budget-2 install, a terminal may split into at most
+    // 2 parts regardless of the outer budget-8 pool; observed concurrency
+    // of the per-part jobs is therefore <= 2.
+    let live = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    with_pool(8, || {
+        with_pool(2, || {
+            assert_eq!(rayon::current_num_threads(), 2);
+            (0..64u64).into_par_iter().for_each(|_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(rayon::current_num_threads(), 8, "outer budget restored");
+    });
+    let peak = peak.load(Ordering::SeqCst);
+    assert!(
+        (1..=2).contains(&peak),
+        "peak concurrency {peak} exceeds inner budget 2"
+    );
+}
+
+#[test]
+fn consecutive_parallel_terminals_reuse_pool_workers() {
+    // Warm the pool at the largest budget this binary uses, so concurrent
+    // tests cannot legitimately grow it while we measure.
+    with_pool(rayon::current_num_threads().max(8), || {
+        (0..1024u64).into_par_iter().sum::<u64>()
+    });
+    let spawned = rayon::pool::total_workers_spawned();
+    assert!(spawned >= 1, "warm-up must have populated the pool");
+    for round in 0..100u64 {
+        // A mix of terminals: par-iter reduce, scope, and a parallel sort.
+        let s: u64 = with_pool(4, || (0..10_000u64).into_par_iter().sum());
+        assert_eq!(s, 10_000 * 9_999 / 2, "round {round}");
+        rayon::scope(|sc| {
+            for _ in 0..4 {
+                sc.spawn(|_| {
+                    std::hint::black_box(0u64);
+                });
+            }
+        });
+        let mut v: Vec<u64> = (0..8_192).map(key).collect();
+        with_pool(4, || v.par_sort_unstable());
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+    assert_eq!(
+        rayon::pool::total_workers_spawned(),
+        spawned,
+        "parallel terminals must reuse pooled workers instead of spawning per call"
+    );
+}
+
+#[test]
+fn join_composes_with_terminals() {
+    let (evens, odds) = with_pool(4, || {
+        rayon::join(
+            || {
+                (0..100_000u64)
+                    .into_par_iter()
+                    .filter(|x| x % 2 == 0)
+                    .count()
+            },
+            || {
+                (0..100_000u64)
+                    .into_par_iter()
+                    .filter(|x| x % 2 == 1)
+                    .count()
+            },
+        )
+    });
+    assert_eq!(evens, 50_000);
+    assert_eq!(odds, 50_000);
+}

@@ -2,8 +2,8 @@
 //!
 //! Every pipeline is a tree of adapter structs; a terminal method asks the
 //! tree for up to `current_num_threads()` independent [`Part`]s (an ordered
-//! sequential iterator plus its global start offset) and drives them on
-//! scoped threads via [`crate::run_parts`]. Sources split by index
+//! sequential iterator plus its global start offset) and drives them as
+//! persistent-pool jobs via [`crate::run_parts`]. Sources split by index
 //! arithmetic, so no items are materialized before the per-item work runs —
 //! except `zip`, which aligns its two sides eagerly.
 
@@ -363,15 +363,14 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     where
         T: Ord,
     {
-        // Sequential; a parallel merge sort is a planned upgrade.
-        self.sort_unstable();
+        crate::sort::par_sort_unstable_by(self, &T::cmp);
     }
 
     fn par_sort_unstable_by<F>(&mut self, compare: F)
     where
         F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
     {
-        self.sort_unstable_by(compare);
+        crate::sort::par_sort_unstable_by(self, &compare);
     }
 
     fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
@@ -379,7 +378,7 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
         K: Ord,
         F: Fn(&T) -> K + Sync,
     {
-        self.sort_unstable_by_key(key);
+        crate::sort::par_sort_unstable_by(self, &|a: &T, b: &T| key(a).cmp(&key(b)));
     }
 }
 

@@ -1,28 +1,41 @@
 //! Offline vendored shim for the `rayon` crate.
 //!
 //! The build environment has no registry access, so this crate implements
-//! the subset of rayon the workspace uses on top of `std::thread::scope`:
+//! the subset of rayon the workspace uses, executing all parallel work on
+//! a **lazily-initialized persistent worker pool** (see [`pool`]):
 //!
 //! * parallel iterators over ranges, vectors, and slices with the adapters
 //!   the algorithms need (`map`, `filter`, `enumerate`, `zip`, `fold`,
 //!   `reduce`, `for_each`, `sum`, `max`, `collect`);
+//! * a real **parallel merge sort** behind `par_sort_unstable`/`_by`/
+//!   `_by_key` (per-worker runs + parallel pairwise merge, sequential
+//!   below ~4k elements — see [`sort`]);
+//! * [`join`] — the fork-join primitive, executed on the pool;
 //! * `ThreadPoolBuilder`/`ThreadPool::install` and `current_num_threads`,
-//!   implemented as a thread-local *parallelism budget* — `install` scopes
-//!   the budget, and every parallel terminal splits its input into that many
-//!   parts, each driven on its own scoped thread;
-//! * `scope`/`Scope::spawn` forwarded to `std::thread::scope`.
+//!   implemented as a thread-local *parallelism budget*: `install` scopes
+//!   the budget, every parallel terminal splits its input into that many
+//!   parts, and the parts run as pool jobs. The default budget honours
+//!   `RAYON_NUM_THREADS`, like real rayon's global pool;
+//! * `scope`/`Scope::spawn`, whose tasks are pool jobs as well — `scope`
+//!   blocks (while helping drain the queue) until every spawn finished.
 //!
-//! Semantic differences from real rayon, acceptable for correctness-first
-//! use (see ROADMAP "Open items" for the planned work-stealing upgrade):
-//! threads are spawned per terminal operation instead of pooled, there is
-//! no work stealing, and `par_sort_unstable` sorts sequentially.
-//! `enumerate` indices are only meaningful when no `filter` precedes them —
-//! same as rayon, where `filter` drops `IndexedParallelIterator`.
+//! Semantic differences from real rayon, acceptable for this workspace:
+//! there is no work *stealing* — idle threads pull whole jobs from a
+//! shared injector queue, and chunk-based splitting fixes job granularity
+//! at the terminal — and `enumerate` indices are only meaningful when no
+//! `filter` precedes them (same as rayon, where `filter` drops
+//! `IndexedParallelIterator`).
 
 use std::cell::Cell;
-use std::sync::Arc;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
 
 pub mod iter;
+pub mod pool;
+pub(crate) mod sort;
+
+pub use pool::join;
 
 pub mod prelude {
     pub use crate::iter::{
@@ -31,12 +44,21 @@ pub mod prelude {
 }
 
 thread_local! {
-    /// 0 = unset; parallel terminals then use the machine's parallelism.
+    /// 0 = unset; parallel terminals then use the default parallelism.
     static POOL_SIZE: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Default parallelism budget: `RAYON_NUM_THREADS` if set and positive
+/// (matching real rayon's global pool), else the machine's parallelism.
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 /// Number of threads the ambient "pool" grants to parallel work.
@@ -50,12 +72,12 @@ pub fn current_num_threads() -> usize {
 }
 
 /// Restores the previous parallelism budget on drop (panic-safe).
-struct BudgetGuard {
+pub(crate) struct BudgetGuard {
     prev: usize,
 }
 
 impl BudgetGuard {
-    fn set(n: usize) -> Self {
+    pub(crate) fn set(n: usize) -> Self {
         BudgetGuard {
             prev: POOL_SIZE.with(|c| c.replace(n)),
         }
@@ -105,9 +127,11 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A parallelism budget masquerading as a pool: `install` makes
-/// `current_num_threads()` report this pool's size inside `f`, which is what
-/// sizes every parallel split performed within.
+/// A parallelism budget over the shared persistent pool: `install` makes
+/// `current_num_threads()` report this pool's size inside `f`, which is
+/// what sizes every parallel split performed within. All `ThreadPool`s
+/// share the global worker set; the budget caps how many jobs a terminal
+/// creates, which is what bounds its concurrency.
 #[derive(Debug)]
 pub struct ThreadPool {
     size: usize,
@@ -124,10 +148,13 @@ impl ThreadPool {
     }
 }
 
-/// Fork-join scope; all tasks spawned on it complete before `scope` returns.
+/// Fork-join scope; all tasks spawned on it complete before [`scope`]
+/// returns. Tasks run as persistent-pool jobs and inherit the spawning
+/// scope's parallelism budget.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+    state: Arc<pool::Latch>,
     budget: usize,
+    _marker: PhantomData<&'scope mut &'env ()>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
@@ -135,12 +162,20 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
-        let inner = self.inner;
+        let state = Arc::clone(&self.state);
         let budget = self.budget;
-        inner.spawn(move || {
-            let _guard = BudgetGuard::set(budget);
-            f(&Scope { inner, budget });
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope {
+                state: Arc::clone(&state),
+                budget,
+                _marker: PhantomData,
+            };
+            f(&nested);
         });
+        // SAFETY: `scope` waits on this latch until every spawned job
+        // (including jobs spawned by jobs) completed, so the erased
+        // borrows outlive all executions.
+        unsafe { pool::submit(&self.state, budget, job) };
     }
 }
 
@@ -149,7 +184,25 @@ where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
     let budget = current_num_threads();
-    std::thread::scope(|s| f(&Scope { inner: s, budget }))
+    let state = pool::Latch::new();
+    let scope = Scope {
+        state: Arc::clone(&state),
+        budget,
+        _marker: PhantomData,
+    };
+    // Even if `f` itself panics, already-spawned tasks borrow `'env` data
+    // and must finish before we unwind out of here.
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    pool::help_until_done(&state);
+    match result {
+        Ok(r) => {
+            if let Some(payload) = state.take_panic() {
+                panic::resume_unwind(payload);
+            }
+            r
+        }
+        Err(payload) => panic::resume_unwind(payload),
+    }
 }
 
 /// Splits `0..len` into at most `parts` non-empty contiguous spans.
@@ -170,9 +223,10 @@ pub(crate) fn split_spans(len: usize, parts: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Drives each part on its own scoped thread (inline when there is only
-/// one), returning per-part results in part order. Panics propagate with
-/// their original payload.
+/// Drives each part as a persistent-pool job (inline when there is only
+/// one), returning per-part results in part order. The caller helps run
+/// queued jobs while it waits; panics propagate with their original
+/// payload once the whole batch finished.
 pub(crate) fn run_parts<'a, T, R, F>(parts: Vec<iter::Part<'a, T>>, job: F) -> Vec<R>
 where
     T: Send + 'a,
@@ -182,23 +236,22 @@ where
     if parts.len() <= 1 {
         return parts.into_iter().map(|p| job(p.iter)).collect();
     }
-    let budget = current_num_threads();
-    std::thread::scope(|s| {
-        let job = &job;
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|p| {
-                s.spawn(move || {
-                    let _guard = BudgetGuard::set(budget);
-                    job(p.iter)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
-    })
+    let n = parts.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let job = &job;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = parts
+        .into_iter()
+        .zip(slots.iter_mut())
+        .map(|(p, slot)| {
+            Box::new(move || *slot = Some(job(p.iter))) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::run_batch(jobs);
+    slots
+        .into_iter()
+        .map(|r| r.expect("pool job filled its result slot"))
+        .collect()
 }
 
 /// Shared closure handle for adapter parts; avoids requiring `F: Clone`.

@@ -1,0 +1,376 @@
+//! Persistent worker pool behind every parallel terminal.
+//!
+//! A lazily-initialized, process-global set of OS workers pulls erased
+//! closures from a shared injector queue. Parallel terminals, `scope`
+//! spawns, and the sort's `join` all submit batches here instead of
+//! spawning scoped threads per call, so threads are reused across
+//! terminals (see [`total_workers_spawned`], which the regression tests
+//! pin down).
+//!
+//! Two invariants make borrowed (non-`'static`) jobs and nested
+//! parallelism sound:
+//!
+//! 1. **Blocking bounds borrows.** [`run_batch`] and `scope` do not
+//!    return — not even by unwinding — until their latch reports every
+//!    submitted job finished, so lifetime-erased closures never outlive
+//!    the data they borrow.
+//! 2. **Every waiter is a worker.** While a latch is open, the waiting
+//!    thread runs queued jobs itself ([`help_until_done`]). A fixed-size
+//!    pool whose blocked callers also drain the queue cannot deadlock on
+//!    nested batches; parking uses a short timeout as a lost-wakeup
+//!    safety net on top of the condvar protocol.
+//!
+//! The pool grows monotonically: a batch submitted under parallelism
+//! budget `b` ensures `b − 1` workers exist (its caller is the `b`-th),
+//! capped at [`MAX_WORKERS`]. Concurrency is still capped per batch by
+//! the number of jobs the budget allowed the terminal to create, so
+//! nested `ThreadPool::install` budgets keep their meaning even though
+//! all pools share one worker set.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard ceiling on pool workers; budgets beyond it still work, with the
+/// excess jobs queueing.
+const MAX_WORKERS: usize = 64;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signaled when a job is pushed or a latch completes.
+    signal: Condvar,
+    /// Total OS workers ever spawned (monotonic).
+    spawned: AtomicUsize,
+}
+
+fn pool() -> &'static PoolState {
+    static POOL: OnceLock<PoolState> = OnceLock::new();
+    POOL.get_or_init(|| PoolState {
+        queue: Mutex::new(VecDeque::new()),
+        signal: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Total OS worker threads the pool has ever created. Shim-only
+/// observability hook: after a warm-up at the largest budget a process
+/// uses, this value must not grow — parallel terminals reuse workers.
+pub fn total_workers_spawned() -> usize {
+    pool().spawned.load(Ordering::Relaxed)
+}
+
+/// Grows the worker set to at least `target` threads (capped).
+fn ensure_workers(target: usize) {
+    let p = pool();
+    let target = target.min(MAX_WORKERS);
+    loop {
+        let cur = p.spawned.load(Ordering::Relaxed);
+        if cur >= target {
+            return;
+        }
+        if p.spawned
+            .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-worker-{cur}"))
+                // Nested fork-join executes depth-first on worker stacks;
+                // match the main thread's default so debug builds with fat
+                // frames don't overflow.
+                .stack_size(8 << 20)
+                .spawn(worker_loop)
+                .expect("failed to spawn pool worker");
+        }
+    }
+}
+
+fn worker_loop() {
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = p.signal.wait(q).expect("pool queue poisoned");
+            }
+        };
+        // Jobs are wrapped (catch_unwind + latch) before queueing, so
+        // they cannot unwind through the worker loop.
+        job();
+    }
+}
+
+/// Completion latch for one batch or scope: a pending-job count, the
+/// first captured panic payload, and a dedicated condvar so completion
+/// wakes exactly this latch's waiters — not every parked pool worker.
+pub(crate) struct Latch {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done_lock: Mutex<()>,
+    done_signal: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Arc<Latch> {
+        Arc::new(Latch {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done_signal: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn add(&self, n: usize) {
+        self.pending.fetch_add(n, Ordering::Release);
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.pending.load(Ordering::Acquire) == 0
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("latch panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().expect("latch panic slot poisoned").take()
+    }
+
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Taking `done_lock` orders this notify after any waiter's
+            // done-check, so the wakeup cannot be lost; only this latch's
+            // waiters wake, not the whole worker pool.
+            let _guard = self.done_lock.lock().expect("latch done lock poisoned");
+            self.done_signal.notify_all();
+        }
+    }
+}
+
+/// Runs queued jobs while waiting for `latch` to complete. This is the
+/// "every waiter is a worker" rule: a thread blocked on a batch drains
+/// the queue (its own sub-jobs or anyone else's) instead of idling.
+///
+/// Helpers pop from the **back** of the queue (LIFO) while idle workers
+/// pop from the front: the most recently pushed jobs are the waiting
+/// batch's own children, so a nested fork-join executes depth-first on
+/// the helper's stack — stack growth tracks the algorithm's recursion
+/// depth, not the queue length. (FIFO helping would pull sibling-subtree
+/// roots onto an already-deep stack and overflow on nested `join`s.)
+pub(crate) fn help_until_done(latch: &Latch) {
+    let p = pool();
+    while !latch.done() {
+        let job = p.queue.lock().expect("pool queue poisoned").pop_back();
+        match job {
+            Some(job) => job(),
+            None => {
+                // Park on the latch's own condvar: completion wakes us
+                // directly; jobs pushed meanwhile are consumed by the
+                // workers (woken per push), with the timeout as the
+                // helper's polling backstop for both.
+                let guard = latch.done_lock.lock().expect("latch done lock poisoned");
+                if latch.done() {
+                    return;
+                }
+                let _ = latch
+                    .done_signal
+                    .wait_timeout(guard, Duration::from_micros(200))
+                    .expect("latch done lock poisoned");
+            }
+        }
+    }
+}
+
+/// Erases a borrowed job's lifetime so it can sit in the `'static` queue.
+///
+/// # Safety
+/// The caller must not return (including by unwinding) until the job has
+/// finished executing — in practice, by waiting on the latch the wrapped
+/// job reports to.
+unsafe fn erase_lifetime<'a>(
+    job: Box<dyn FnOnce() + Send + 'a>,
+) -> Box<dyn FnOnce() + Send + 'static> {
+    std::mem::transmute(job)
+}
+
+/// Wraps a borrowed job with the submitter's budget, panic capture, and
+/// latch completion, then queues it.
+///
+/// # Safety
+/// See [`erase_lifetime`]: the caller must block on `latch` before its
+/// borrows expire. `latch.add(1)` must have been counted already or be
+/// counted here; this function counts it.
+pub(crate) unsafe fn submit<'a>(
+    latch: &Arc<Latch>,
+    budget: usize,
+    job: Box<dyn FnOnce() + Send + 'a>,
+) {
+    latch.add(1);
+    let job = erase_lifetime(job);
+    let latch = Arc::clone(latch);
+    let wrapped: Job = Box::new(move || {
+        let _guard = crate::BudgetGuard::set(budget);
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(job)) {
+            latch.record_panic(payload);
+        }
+        latch.complete_one();
+    });
+    ensure_workers(budget.saturating_sub(1));
+    let p = pool();
+    let mut q = p.queue.lock().expect("pool queue poisoned");
+    q.push_back(wrapped);
+    drop(q);
+    // One job needs one runner: notify_one avoids waking every parked
+    // worker per push (thundering herd on the queue mutex). If the wakeup
+    // lands on a helper that returns without consuming, the job still
+    // cannot be stranded — the submitting batch's owner polls the queue
+    // on a timeout in help_until_done until its latch completes.
+    p.signal.notify_one();
+}
+
+/// Executes every job on the pool, the caller included, and returns once
+/// all have finished. The first panic among the jobs is re-raised here
+/// (after the whole batch completed, so borrows stay sound).
+pub(crate) fn run_batch<'a>(jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+    if jobs.len() <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let budget = crate::current_num_threads();
+    let latch = Latch::new();
+    let mut jobs = jobs.into_iter();
+    let first = jobs.next().expect("len checked above");
+    for job in jobs {
+        // SAFETY: `help_until_done` below blocks until the latch counts
+        // every job complete, bounding the erased lifetimes.
+        unsafe { submit(&latch, budget, job) };
+    }
+    // The caller runs the first job itself — halving traffic on the shared
+    // queue for the ubiquitous 2-job `join` — then helps with the rest.
+    // (No budget guard needed: `budget` is the caller's ambient value.)
+    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(first)) {
+        latch.record_panic(payload);
+    }
+    help_until_done(&latch);
+    if let Some(payload) = latch.take_panic() {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns their
+/// results — the classic fork-join primitive, mirroring `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    run_batch(vec![
+        Box::new(|| ra = Some(a())),
+        Box::new(|| rb = Some(b())),
+    ]);
+    (
+        ra.expect("join arm a completed"),
+        rb.expect("join arm b completed"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| fib(16)), 987);
+    }
+
+    #[test]
+    fn join_borrows_stack_data() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let (lo, hi) = data.split_at(5_000);
+        let (a, b) = join(|| lo.iter().sum::<u64>(), || hi.iter().sum::<u64>());
+        assert_eq!(a + b, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn batch_panic_propagates_after_completion() {
+        let finished = AtomicU64::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+                .map(|i| {
+                    let finished = &finished;
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("boom {i}");
+                        }
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            run_batch(jobs);
+        }));
+        assert!(caught.is_err(), "panic must propagate");
+        // Every non-panicking job still ran to completion before the
+        // panic was re-raised.
+        assert_eq!(finished.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn workers_are_reused_across_batches() {
+        // Warm up at a budget at least as large as any other test in this
+        // binary uses (including the ambient default), so concurrent tests
+        // cannot legitimately grow the pool while we measure.
+        let warm = crate::ThreadPoolBuilder::new()
+            .num_threads(crate::current_num_threads().max(8))
+            .build()
+            .unwrap();
+        warm.install(|| join(|| (), || ()));
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let spawned = total_workers_spawned();
+        for _ in 0..64 {
+            pool.install(|| join(|| (), || ()));
+        }
+        assert_eq!(
+            total_workers_spawned(),
+            spawned,
+            "batches must reuse pooled workers, not spawn fresh threads"
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Parallel merge sort behind `par_sort_unstable*`.
+//!
+//! The slice is split into `2^⌈log₂ budget⌉` leaf runs, each sorted
+//! in-place with `sort_unstable_by`, then merged pairwise up the
+//! recursion tree. Each merge writes bitwise copies into a scratch
+//! buffer and is itself parallel: the longer run is split at its
+//! midpoint, the split key is binary-searched in the shorter run, and
+//! the two halves merge concurrently — falling back to a sequential
+//! two-finger merge below [`SEQ_CUTOFF`] elements. All forking goes
+//! through [`pool::join`], so the work runs on the persistent pool.
+//!
+//! # Panic safety
+//!
+//! The comparator is caller code and may panic at any point. The scheme
+//! stays sound because elements only ever move by *bitwise copy into
+//! the scratch buffer*, never out of the slice: until a merge level
+//! completes, the slice still owns every element, and the scratch `Vec`
+//! keeps `len == 0` forever so it drops nothing. Only after a full
+//! merge level finishes (comparator can no longer run) is the merged
+//! order copied back into the slice in one `ptr::copy_nonoverlapping`.
+//! A panic therefore leaves the slice holding all of its original
+//! elements exactly once — possibly partially sorted, never duplicated
+//! or dropped.
+
+use crate::pool;
+use std::cmp::Ordering;
+use std::ptr;
+
+/// Below this many elements sorting (or merging) proceeds sequentially;
+/// fork overhead dominates under it.
+const SEQ_CUTOFF: usize = 4096;
+
+/// Raw pointer that tasks may carry across threads. Every task touches a
+/// disjoint element range, so no synchronization is needed.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// `count` must stay within the allocation this pointer derives from.
+    unsafe fn add(&self, count: usize) -> SendPtr<T> {
+        SendPtr(self.0.add(count))
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        SendPtr(self.0)
+    }
+}
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+/// Sorts `v` with the ambient parallelism budget. The single entry point
+/// for all three `par_sort_unstable*` variants.
+pub(crate) fn par_sort_unstable_by<T, F>(v: &mut [T], compare: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let budget = crate::current_num_threads();
+    if budget <= 1 || v.len() <= SEQ_CUTOFF {
+        v.sort_unstable_by(compare);
+        return;
+    }
+    // Depth so the leaf-run count is the smallest power of two >= budget:
+    // one run per worker, ⌈log₂ budget⌉ merge levels.
+    let levels = budget.next_power_of_two().trailing_zeros();
+    let mut scratch: Vec<T> = Vec::with_capacity(v.len());
+    // SAFETY: `scratch` provides raw storage for `v.len()` elements; its
+    // `len` stays 0, so it never drops what the merges copy into it.
+    sort_rec(v, SendPtr(scratch.as_mut_ptr()), compare, levels);
+}
+
+/// Recursive sort of `v`, with `scratch` pointing at a spare region of
+/// the same length.
+fn sort_rec<T, F>(v: &mut [T], scratch: SendPtr<T>, compare: &F, levels: u32)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if levels == 0 || v.len() <= SEQ_CUTOFF {
+        v.sort_unstable_by(compare);
+        return;
+    }
+    let mid = v.len() / 2;
+    {
+        let (lo, hi) = v.split_at_mut(mid);
+        let scratch_lo = SendPtr(scratch.0);
+        // SAFETY: `mid < v.len()`, within the scratch allocation.
+        let scratch_hi = unsafe { scratch.add(mid) };
+        pool::join(
+            || sort_rec(lo, scratch_lo, compare, levels - 1),
+            || sort_rec(hi, scratch_hi, compare, levels - 1),
+        );
+    }
+    // SAFETY: both halves of `v` are sorted and disjoint from the scratch
+    // region; the merge writes copies into scratch[0..len], and only once
+    // it fully succeeded (no more comparator calls) is the merged order
+    // copied back over `v`.
+    unsafe {
+        par_merge(
+            SendPtr(v.as_mut_ptr()),
+            mid,
+            SendPtr(v.as_mut_ptr().add(mid)),
+            v.len() - mid,
+            SendPtr(scratch.0),
+            compare,
+            levels,
+        );
+        ptr::copy_nonoverlapping(scratch.0, v.as_mut_ptr(), v.len());
+    }
+}
+
+/// Merges the sorted runs `a[..a_len]` and `b[..b_len]` into
+/// `dst[..a_len + b_len]` by bitwise copy, splitting recursively for
+/// parallelism.
+///
+/// # Safety
+/// The three regions must be valid and mutually disjoint; `dst` is raw
+/// spare capacity (no drops happen through it).
+unsafe fn par_merge<T, F>(
+    a: SendPtr<T>,
+    a_len: usize,
+    b: SendPtr<T>,
+    b_len: usize,
+    dst: SendPtr<T>,
+    compare: &F,
+    levels: u32,
+) where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if levels == 0 || a_len + b_len <= SEQ_CUTOFF {
+        seq_merge(a, a_len, b, b_len, dst, compare);
+        return;
+    }
+    // Split the longer run at its midpoint and partition the shorter run
+    // around that key, so both sub-merges see elements strictly ordered
+    // across the split (ties may land on either side; unstable is fine).
+    let (a_mid, b_mid) = if a_len >= b_len {
+        let a_mid = a_len / 2;
+        (a_mid, lower_bound(&b, b_len, &*a.0.add(a_mid), compare))
+    } else {
+        let b_mid = b_len / 2;
+        (lower_bound(&a, a_len, &*b.0.add(b_mid), compare), b_mid)
+    };
+    let (a_lo, a_hi) = (SendPtr(a.0), a.add(a_mid));
+    let (b_lo, b_hi) = (SendPtr(b.0), b.add(b_mid));
+    let dst_lo = SendPtr(dst.0);
+    let dst_hi = dst.add(a_mid + b_mid);
+    pool::join(
+        // SAFETY: the sub-ranges partition the inputs and the output.
+        || unsafe { par_merge(a_lo, a_mid, b_lo, b_mid, dst_lo, compare, levels - 1) },
+        || unsafe {
+            par_merge(
+                a_hi,
+                a_len - a_mid,
+                b_hi,
+                b_len - b_mid,
+                dst_hi,
+                compare,
+                levels - 1,
+            )
+        },
+    );
+}
+
+/// Sequential two-finger merge by bitwise copies.
+///
+/// # Safety
+/// Same contract as [`par_merge`].
+unsafe fn seq_merge<T, F>(
+    a: SendPtr<T>,
+    a_len: usize,
+    b: SendPtr<T>,
+    b_len: usize,
+    dst: SendPtr<T>,
+    compare: &F,
+) where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a_len && j < b_len {
+        let take_a = compare(&*a.0.add(i), &*b.0.add(j)) != Ordering::Greater;
+        let src = if take_a {
+            let p = a.0.add(i);
+            i += 1;
+            p
+        } else {
+            let p = b.0.add(j);
+            j += 1;
+            p
+        };
+        ptr::copy_nonoverlapping(src, dst.0.add(k), 1);
+        k += 1;
+    }
+    if i < a_len {
+        ptr::copy_nonoverlapping(a.0.add(i), dst.0.add(k), a_len - i);
+    }
+    if j < b_len {
+        ptr::copy_nonoverlapping(b.0.add(j), dst.0.add(k), b_len - j);
+    }
+}
+
+/// Index of the first element of `p[..len]` not ordered before `key`.
+///
+/// # Safety
+/// `p[..len]` must be valid, sorted under `compare`.
+unsafe fn lower_bound<T, F>(p: &SendPtr<T>, len: usize, key: &T, compare: &F) -> usize
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let (mut lo, mut hi) = (0, len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if compare(&*p.0.add(mid), key) == Ordering::Less {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap();
+        pool.install(f)
+    }
+
+    fn keyed(i: u64) -> u64 {
+        i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i >> 7)
+    }
+
+    #[test]
+    fn sorts_large_random_input_across_budgets() {
+        let data: Vec<u64> = (0..100_000).map(keyed).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for b in [1usize, 2, 3, 4, 8] {
+            let mut v = data.clone();
+            budget(b, || v.par_sort_unstable());
+            assert_eq!(v, expect, "budget {b}");
+        }
+    }
+
+    #[test]
+    fn sorts_with_comparator_and_key() {
+        let data: Vec<u64> = (0..50_000).map(keyed).collect();
+        let mut by = data.clone();
+        budget(4, || by.par_sort_unstable_by(|x, y| y.cmp(x)));
+        let mut expect = data.clone();
+        expect.sort_unstable_by(|x, y| y.cmp(x));
+        assert_eq!(by, expect);
+
+        let mut by_key = data.clone();
+        budget(4, || by_key.par_sort_unstable_by_key(|&x| x % 1000));
+        assert!(by_key.windows(2).all(|w| w[0] % 1000 <= w[1] % 1000));
+        assert_eq!(by_key.len(), data.len());
+    }
+
+    #[test]
+    fn sorts_non_copy_types() {
+        let data: Vec<String> = (0..20_000)
+            .map(|i| format!("{:07}", keyed(i) % 100_000))
+            .collect();
+        let mut v = data.clone();
+        budget(4, || v.par_sort_unstable());
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn small_and_degenerate_inputs() {
+        budget(4, || {
+            let mut empty: Vec<u64> = Vec::new();
+            empty.par_sort_unstable();
+            assert!(empty.is_empty());
+
+            let mut one = vec![7u64];
+            one.par_sort_unstable();
+            assert_eq!(one, vec![7]);
+
+            let mut tiny: Vec<u64> = (0..100).rev().collect();
+            tiny.par_sort_unstable();
+            assert_eq!(tiny, (0..100).collect::<Vec<u64>>());
+        });
+    }
+
+    #[test]
+    fn comparator_panic_leaves_all_elements_present() {
+        // Strings make double-drops observable (heap corruption / ASAN);
+        // the panic must propagate and the slice keep every element.
+        let mut v: Vec<String> = (0..30_000)
+            .map(|i| format!("{:07}", keyed(i) % 50_000))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            budget(4, || {
+                v.par_sort_unstable_by(|x, y| {
+                    if hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed) == 20_000 {
+                        panic!("comparator bomb");
+                    }
+                    x.cmp(y)
+                })
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        v.sort_unstable();
+        assert_eq!(v, expect, "no element lost or duplicated");
+    }
+}
