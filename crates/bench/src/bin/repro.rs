@@ -2,7 +2,7 @@
 //! evaluation (§5) on the synthetic dataset analogs.
 //!
 //! ```text
-//! cargo run --release -p receipt-bench --bin repro -- <experiment>
+//! cargo run --release -p receipt-bench --bin repro -- <experiment> [--json] [--out FILE]
 //!   table2   dataset statistics (sizes, butterflies, wedges, θ_max)
 //!   table3   t / wedges / sync-rounds for pvBcnt, BUP, ParB, RECEIPT
 //!   fig4     cumulative tip-number distribution (Tr analog, both sides)
@@ -15,20 +15,70 @@
 //!   fig11    thread scaling, peeling V
 //!   wing     §7 extension: parallel vs sequential wing decomposition
 //!   projection  §1 motivation: unipartite-projection blowup
-//!   all      everything above, in order
+//!   smoke    small deterministic oracle-checked runs (CI / golden snapshot)
+//!   all      everything above except smoke, in order
 //! ```
 //!
-//! Outputs are plain text tables; `EXPERIMENTS.md` records one full run and
-//! compares against the paper.
+//! `--json` emits a versioned [`receipt_bench::report::ReproReport`]
+//! document instead of text (supported for `table2`, `table3`, `wing`,
+//! `smoke` — the figure experiments are timing curves with no structured
+//! content beyond what table3 already covers). `--out FILE` redirects
+//! either format. `EXPERIMENTS.md` records one full text run;
+//! `tests/golden/repro_smoke.json` pins the timing-scrubbed smoke document.
 
-use bigraph::{stats, Side};
+use bigraph::Side;
 use receipt::{hierarchy, Config};
+use receipt_bench::report::ReproReport;
 use receipt_bench::runner::*;
+use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    match what {
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut what: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--out" | "--output" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => fail("--out expects a file path"),
+            },
+            flag if flag.starts_with('-') => fail(&format!("unknown flag `{flag}`")),
+            exp if what.is_none() => what = Some(exp.to_string()),
+            extra => fail(&format!("unexpected argument `{extra}`")),
+        }
+    }
+    let what = what.unwrap_or_else(|| "all".to_string());
+
+    if json {
+        let report = match build_json(&what) {
+            Some(report) => report,
+            None if KNOWN_EXPERIMENTS.contains(&what.as_str()) => fail(&format!(
+                "`{what}` has no JSON form; supported: table2, table3, wing, smoke"
+            )),
+            None => fail(&format!(
+                "unknown experiment `{what}`; see --help in the module docs"
+            )),
+        };
+        let text = serde_json::to_string_pretty(&report).expect("report serializes");
+        match &out {
+            None => println!("{text}"),
+            Some(path) => write_file(path, &format!("{text}\n")),
+        }
+        return;
+    }
+
+    if let Some(path) = &out {
+        // Text mode with --out: capture is not implemented; keep the
+        // interface honest instead of silently printing to stdout.
+        fail(&format!(
+            "--out {path} requires --json (text tables always print to stdout)"
+        ));
+    }
+
+    match what.as_str() {
         "table2" => table2(),
         "table3" => table3(),
         "fig4" => fig4(),
@@ -41,6 +91,7 @@ fn main() {
         "fig11" => fig10_fig11(Side::V),
         "wing" => wing_extension(),
         "projection" => projection_motivation(),
+        "smoke" => smoke(),
         "all" => {
             table2();
             table3();
@@ -55,11 +106,53 @@ fn main() {
             wing_extension();
             projection_motivation();
         }
-        other => {
-            eprintln!("unknown experiment `{other}`; see --help in the module docs");
-            std::process::exit(2);
-        }
+        other => fail(&format!(
+            "unknown experiment `{other}`; see --help in the module docs"
+        )),
     }
+}
+
+const KNOWN_EXPERIMENTS: &[&str] = &[
+    "table2",
+    "table3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "wing",
+    "projection",
+    "smoke",
+    "all",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn write_file(path: &str, text: &str) {
+    let mut f =
+        std::fs::File::create(path).unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+    f.write_all(text.as_bytes())
+        .unwrap_or_else(|e| fail(&format!("write to {path} failed: {e}")));
+    eprintln!("wrote {path}");
+}
+
+/// The structured form of the experiments that have one.
+fn build_json(what: &str) -> Option<ReproReport> {
+    let mut report = ReproReport::new(what);
+    match what {
+        "table2" => report.table2 = Some(table2_rows()),
+        "table3" => report.table3 = Some(table3_rows()),
+        "wing" => report.wing = Some(wing_rows()),
+        "smoke" => report.smoke = Some(smoke_report()),
+        _ => return None,
+    }
+    Some(report)
 }
 
 fn header(title: &str) {
@@ -74,30 +167,18 @@ fn table2() {
         "{:<5} {:>8} {:>8} {:>9} {:>11} {:>10} {:>10} {:>10} {:>10}",
         "name", "|U|", "|V|", "|E|", "dU/dV", "bf(M)", "wedge(M)", "thmaxU", "thmaxV"
     );
-    for spec in bigraph::datasets::all() {
-        let g = spec.generate();
-        let vu = g.view(Side::U);
-        let vv = g.view(Side::V);
-        let counts = butterfly::par_count_graph(&g);
-        let wedges = stats::total_primary_wedges(vu) + stats::total_primary_wedges(vv);
-        let cfg = Config::default();
-        let tu = receipt::tip_decompose(&g, Side::U, &cfg);
-        let tv = receipt::tip_decompose(&g, Side::V, &cfg);
+    for r in table2_rows() {
         println!(
             "{:<5} {:>8} {:>8} {:>9} {:>11} {:>10} {:>10} {:>10} {:>10}",
-            spec.name,
-            g.num_u(),
-            g.num_v(),
-            g.num_edges(),
-            format!(
-                "{:.1}/{:.1}",
-                stats::avg_primary_degree(vu),
-                stats::avg_primary_degree(vv)
-            ),
-            millions(counts.total()),
-            millions(wedges),
-            tu.theta_max(),
-            tv.theta_max(),
+            r.name,
+            r.num_u,
+            r.num_v,
+            r.num_edges,
+            format!("{:.1}/{:.1}", r.avg_degree_u, r.avg_degree_v),
+            millions(r.butterflies),
+            millions(r.wedges),
+            r.theta_max_u,
+            r.theta_max_v,
         );
     }
 }
@@ -120,26 +201,20 @@ fn table3() {
         "rho_RCPT",
         "r"
     );
-    for w in all_workloads() {
-        let bup = run_bup(&w);
-        let parb = run_parb(&w);
-        let rcpt = run_receipt(&w, &Config::default());
-        assert_eq!(bup.tip, parb.tip, "{}: ParB diverged", w.label());
-        assert_eq!(bup.tip, rcpt.tip, "{}: RECEIPT diverged", w.label());
-        let r = bup.wedges_peel as f64 / bup.wedges_count.max(1) as f64;
+    for r in table3_rows() {
         println!(
-            "{:<5} {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>10} | {:>8} {:>8} | {:>9.1}",
-            w.label(),
-            secs(bup.time_count),
-            secs(bup.time_peel),
-            secs(parb.time_peel),
-            secs(rcpt.metrics.time_total()),
-            millions(bup.wedges_count + bup.wedges_peel),
-            millions(rcpt.metrics.wedges_total()),
-            millions(bup.wedges_count),
-            parb.rounds,
-            rcpt.metrics.sync_rounds,
-            r,
+            "{:<5} {:>9.3} {:>9.3} {:>9.3} {:>10.3} | {:>9} {:>9} {:>10} | {:>8} {:>8} | {:>9.1}",
+            r.workload,
+            r.time_pvbcnt_secs,
+            r.time_bup_secs,
+            r.time_parb_secs,
+            r.time_receipt_secs,
+            millions(r.wedges_bup),
+            millions(r.wedges_receipt),
+            millions(r.wedges_pvbcnt),
+            r.rounds_parb,
+            r.rounds_receipt,
+            r.peel_to_count_ratio,
         );
     }
 }
@@ -295,42 +370,55 @@ fn wing_extension() {
         "{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8} {:>9}",
         "graph", "|E|", "t_seq(s)", "t_rcpt(s)", "work_seq", "work_rcpt", "rounds", "max_wing"
     );
-    let workloads = [
-        (
-            "zipf-40k",
-            bigraph::gen::zipf(6_000, 2_500, 40_000, 0.5, 1.0, 5),
-        ),
-        (
-            "blocks",
-            bigraph::gen::planted_bicliques(3_000, 3_000, 30, 8, 8, 15_000, 6),
-        ),
-        (
-            "pa-30k",
-            bigraph::gen::preferential_attachment(10_000, 4_000, 3, 7),
-        ),
-    ];
-    for (name, g) in &workloads {
-        let view = g.view(Side::U);
-        let t0 = std::time::Instant::now();
-        let seq = receipt::wing::wing_decompose(view, 4);
-        let t_seq = t0.elapsed();
-        let t1 = std::time::Instant::now();
-        let (par, metrics) = receipt::wing_parallel::receipt_wing_decompose(view, 50, 4);
-        let t_par = t1.elapsed();
-        assert_eq!(seq.wing, par.wing, "{name}: parallel wing diverged");
+    for r in wing_rows() {
         println!(
-            "{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8} {:>9}",
-            name,
-            g.num_edges(),
-            secs(t_seq),
-            secs(t_par),
-            millions(seq.work),
-            millions(par.work),
-            metrics.sync_rounds,
-            par.max_wing(),
+            "{:<10} {:>8} {:>10.3} {:>10.3} {:>9} {:>9} {:>8} {:>9}",
+            r.graph,
+            r.num_edges,
+            r.time_seq_secs,
+            r.time_par_secs,
+            millions(r.work_seq),
+            millions(r.work_par),
+            r.sync_rounds,
+            r.max_wing,
         );
     }
     println!("(work in millions of intersection steps; wing numbers verified equal)");
+}
+
+/// `smoke`: the oracle-checked CI workload, in human-readable form.
+fn smoke() {
+    header("smoke: RECEIPT vs oracles on small deterministic graphs");
+    let s = smoke_report();
+    println!(
+        "{:<14} {:>4} {:>6} {:>9} {:>12} {:>12}",
+        "graph", "side", "|tips|", "theta_max", "butterflies", "matches_bup"
+    );
+    for r in &s.tip_runs {
+        println!(
+            "{:<14} {:>4} {:>6} {:>9} {:>12} {:>12}",
+            r.graph,
+            r.side.suffix(),
+            r.num_vertices,
+            r.theta_max,
+            r.butterflies,
+            r.matches_bup,
+        );
+    }
+    println!(
+        "{:<14} {:>6} {:>9} {:>18}",
+        "graph", "|E|", "max_wing", "matches_sequential"
+    );
+    for r in &s.wing_runs {
+        println!(
+            "{:<14} {:>6} {:>9} {:>18}",
+            r.graph, r.num_edges, r.max_wing, r.matches_sequential,
+        );
+    }
+    let all_ok = s.tip_runs.iter().all(|r| r.matches_bup)
+        && s.wing_runs.iter().all(|r| r.matches_sequential);
+    assert!(all_ok, "smoke run diverged from the oracles");
+    println!("all runs match their oracles");
 }
 
 /// Figures 10 and 11: self-relative parallel speedup. This container has a

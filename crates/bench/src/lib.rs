@@ -1,4 +1,5 @@
 //! Shared plumbing for the experiment harness (see `src/bin/repro.rs` and
 //! the criterion benches under `benches/`).
 
+pub mod report;
 pub mod runner;

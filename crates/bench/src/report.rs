@@ -1,0 +1,125 @@
+//! Structured result documents for the `repro` harness (`repro <exp>
+//! --json`).
+//!
+//! Same conventions as [`receipt::report`]: a `schema_version`/`kind`
+//! envelope, timing fields named `time_*` so
+//! [`receipt::report::scrub_timings`] canonicalizes them, and everything
+//! else machine-independent so two runs of the same binary diff clean.
+
+use bigraph::Side;
+use receipt::wing_parallel::WingMetrics;
+use receipt::{Config, Metrics};
+use serde::{Deserialize, Serialize};
+
+/// One `repro` invocation. Exactly one experiment section is populated;
+/// the others stay `null`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproReport {
+    pub schema_version: u32,
+    /// Always `"repro"`.
+    pub kind: String,
+    /// The experiment argument (`table2`, `table3`, `wing`, `smoke`).
+    pub experiment: String,
+    pub table2: Option<Vec<Table2Row>>,
+    pub table3: Option<Vec<Table3Row>>,
+    pub wing: Option<Vec<WingRow>>,
+    pub smoke: Option<SmokeReport>,
+}
+
+impl ReproReport {
+    pub fn new(experiment: impl Into<String>) -> Self {
+        ReproReport {
+            schema_version: receipt::report::SCHEMA_VERSION,
+            kind: "repro".to_string(),
+            experiment: experiment.into(),
+            table2: None,
+            table3: None,
+            wing: None,
+            smoke: None,
+        }
+    }
+}
+
+/// Table 2: per-dataset statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    pub name: String,
+    pub num_u: usize,
+    pub num_v: usize,
+    pub num_edges: usize,
+    pub avg_degree_u: f64,
+    pub avg_degree_v: f64,
+    pub butterflies: u64,
+    /// Wedges with endpoints on either side, summed.
+    pub wedges: u64,
+    pub theta_max_u: u64,
+    pub theta_max_v: u64,
+}
+
+/// Table 3: one workload × all algorithms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    pub workload: String,
+    pub time_pvbcnt_secs: f64,
+    pub time_bup_secs: f64,
+    pub time_parb_secs: f64,
+    pub time_receipt_secs: f64,
+    pub wedges_bup: u64,
+    pub wedges_receipt: u64,
+    pub wedges_pvbcnt: u64,
+    pub rounds_parb: u64,
+    pub rounds_receipt: u64,
+    /// `r = ∧_peel / ∧_cnt` (§5.2.2).
+    pub peel_to_count_ratio: f64,
+    /// RECEIPT and ParB agreed with BUP (asserted during the run; recorded
+    /// for differential consumers).
+    pub tips_match: bool,
+}
+
+/// §7 wing extension: sequential vs RECEIPT-style parallel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WingRow {
+    pub graph: String,
+    pub num_edges: usize,
+    pub time_seq_secs: f64,
+    pub time_par_secs: f64,
+    pub work_seq: u64,
+    pub work_par: u64,
+    pub sync_rounds: u64,
+    pub max_wing: u64,
+    pub wings_match: bool,
+}
+
+/// `repro smoke`: small deterministic runs cross-checked against the
+/// sequential/naive oracles — the CI golden-snapshot workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmokeReport {
+    pub tip_runs: Vec<SmokeTipRun>,
+    pub wing_runs: Vec<SmokeWingRun>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmokeTipRun {
+    pub graph: String,
+    pub side: Side,
+    pub config: Config,
+    pub num_vertices: usize,
+    pub theta_max: u64,
+    pub tip: Vec<u64>,
+    /// Total butterflies per the naive wedge-hashing oracle.
+    pub butterflies: u64,
+    /// RECEIPT tips equal sequential bottom-up peeling.
+    pub matches_bup: bool,
+    pub metrics: Metrics,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmokeWingRun {
+    pub graph: String,
+    pub num_edges: usize,
+    pub max_wing: u64,
+    pub wing: Vec<u64>,
+    /// Parallel wing numbers equal the sequential peel.
+    pub matches_sequential: bool,
+    pub wing_metrics: WingMetrics,
+}

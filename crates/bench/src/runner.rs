@@ -1,7 +1,8 @@
 //! Shared experiment plumbing: dataset instantiation, algorithm runners,
-//! and row formatting for the `repro` harness.
+//! structured row builders, and row formatting for the `repro` harness.
 
-use bigraph::{datasets::AnalogSpec, BipartiteCsr, Side};
+use crate::report::{SmokeReport, SmokeTipRun, SmokeWingRun, Table2Row, Table3Row, WingRow};
+use bigraph::{datasets::AnalogSpec, stats, BipartiteCsr, Side};
 use receipt::{bup::BaselineResult, Config, TipDecomposition};
 use std::time::Duration;
 
@@ -77,6 +78,183 @@ pub fn secs(d: Duration) -> String {
 /// laptop-scale so we print millions.
 pub fn millions(x: u64) -> String {
     format!("{:.2}", x as f64 / 1e6)
+}
+
+// ---------------------------------------------------------------------------
+// Structured row builders — the single execution path behind both the text
+// tables and `repro <exp> --json`.
+// ---------------------------------------------------------------------------
+
+/// Table 2 rows: dataset statistics, including θ_max for both sides.
+pub fn table2_rows() -> Vec<Table2Row> {
+    bigraph::datasets::all()
+        .iter()
+        .map(|spec| {
+            let g = spec.generate();
+            let vu = g.view(Side::U);
+            let vv = g.view(Side::V);
+            let counts = butterfly::par_count_graph(&g);
+            let wedges = stats::total_primary_wedges(vu) + stats::total_primary_wedges(vv);
+            let cfg = Config::default();
+            let tu = receipt::tip_decompose(&g, Side::U, &cfg);
+            let tv = receipt::tip_decompose(&g, Side::V, &cfg);
+            Table2Row {
+                name: spec.name.to_string(),
+                num_u: g.num_u(),
+                num_v: g.num_v(),
+                num_edges: g.num_edges(),
+                avg_degree_u: stats::avg_primary_degree(vu),
+                avg_degree_v: stats::avg_primary_degree(vv),
+                butterflies: counts.total(),
+                wedges,
+                theta_max_u: tu.theta_max(),
+                theta_max_v: tv.theta_max(),
+            }
+        })
+        .collect()
+}
+
+/// Table 3 rows. Panics if any algorithm diverges from BUP — the
+/// equivalence is the experiment's premise.
+pub fn table3_rows() -> Vec<Table3Row> {
+    all_workloads()
+        .iter()
+        .map(|w| {
+            let bup = run_bup(w);
+            let parb = run_parb(w);
+            let rcpt = run_receipt(w, &Config::default());
+            assert_eq!(bup.tip, parb.tip, "{}: ParB diverged", w.label());
+            assert_eq!(bup.tip, rcpt.tip, "{}: RECEIPT diverged", w.label());
+            Table3Row {
+                workload: w.label(),
+                time_pvbcnt_secs: bup.time_count.as_secs_f64(),
+                time_bup_secs: bup.time_peel.as_secs_f64(),
+                time_parb_secs: parb.time_peel.as_secs_f64(),
+                time_receipt_secs: rcpt.metrics.time_total().as_secs_f64(),
+                wedges_bup: bup.wedges_count + bup.wedges_peel,
+                wedges_receipt: rcpt.metrics.wedges_total(),
+                wedges_pvbcnt: bup.wedges_count,
+                rounds_parb: parb.rounds,
+                rounds_receipt: rcpt.metrics.sync_rounds,
+                peel_to_count_ratio: bup.wedges_peel as f64 / bup.wedges_count.max(1) as f64,
+                tips_match: true,
+            }
+        })
+        .collect()
+}
+
+/// The §7 wing-extension workloads (downscaled: edge peeling is an order
+/// of magnitude costlier than vertex peeling).
+pub fn wing_workloads() -> Vec<(&'static str, BipartiteCsr)> {
+    vec![
+        (
+            "zipf-40k",
+            bigraph::gen::zipf(6_000, 2_500, 40_000, 0.5, 1.0, 5),
+        ),
+        (
+            "blocks",
+            bigraph::gen::planted_bicliques(3_000, 3_000, 30, 8, 8, 15_000, 6),
+        ),
+        (
+            "pa-30k",
+            bigraph::gen::preferential_attachment(10_000, 4_000, 3, 7),
+        ),
+    ]
+}
+
+/// Wing-extension rows. Panics if the parallel wing numbers diverge from
+/// the sequential peel.
+pub fn wing_rows() -> Vec<WingRow> {
+    wing_workloads()
+        .iter()
+        .map(|(name, g)| {
+            let view = g.view(Side::U);
+            let t0 = std::time::Instant::now();
+            let seq = receipt::wing::wing_decompose(view, 4);
+            let time_seq = t0.elapsed();
+            let t1 = std::time::Instant::now();
+            let (par, metrics) = receipt::wing_parallel::receipt_wing_decompose(view, 50, 4);
+            let time_par = t1.elapsed();
+            assert_eq!(seq.wing, par.wing, "{name}: parallel wing diverged");
+            WingRow {
+                graph: name.to_string(),
+                num_edges: g.num_edges(),
+                time_seq_secs: time_seq.as_secs_f64(),
+                time_par_secs: time_par.as_secs_f64(),
+                work_seq: seq.work,
+                work_par: par.work,
+                sync_rounds: metrics.sync_rounds,
+                max_wing: par.max_wing(),
+                wings_match: true,
+            }
+        })
+        .collect()
+}
+
+/// `repro smoke`: seconds-scale deterministic runs on small generated
+/// graphs, cross-checked against the sequential (BUP) and naive
+/// (wedge-hashing) oracles. This is the workload behind the committed
+/// golden snapshot `tests/golden/repro_smoke.json`.
+pub fn smoke_report() -> SmokeReport {
+    let zipf = bigraph::gen::zipf(400, 200, 1_500, 0.6, 0.9, 11);
+    let tip_graphs: Vec<(&str, BipartiteCsr, Side)> = vec![
+        (
+            "blocks-30x30",
+            bigraph::gen::planted_bicliques(30, 30, 2, 4, 4, 60, 5),
+            Side::U,
+        ),
+        ("zipf-400x200", zipf.clone(), Side::U),
+        ("zipf-400x200", zipf, Side::V),
+    ];
+    let cfg = Config::default().with_partitions(8);
+    let tip_runs = tip_graphs
+        .iter()
+        .map(|(name, g, side)| {
+            let d = receipt::tip_decompose(g, *side, &cfg);
+            let oracle = receipt::bup::bup_decompose(g, *side, cfg.heap_arity);
+            SmokeTipRun {
+                graph: name.to_string(),
+                side: *side,
+                config: cfg.clone(),
+                num_vertices: d.tip.len(),
+                theta_max: d.theta_max(),
+                tip: d.tip.clone(),
+                butterflies: butterfly::naive::naive_total(g),
+                matches_bup: d.tip == oracle.tip,
+                metrics: d.metrics.clone(),
+            }
+        })
+        .collect();
+    let wing_graphs: Vec<(&str, BipartiteCsr)> = vec![
+        (
+            "blocks-60x60",
+            bigraph::gen::planted_bicliques(60, 60, 3, 4, 4, 120, 9),
+        ),
+        (
+            "zipf-300x150",
+            bigraph::gen::zipf(300, 150, 900, 0.5, 0.8, 3),
+        ),
+    ];
+    let wing_runs = wing_graphs
+        .iter()
+        .map(|(name, g)| {
+            let view = g.view(Side::U);
+            let seq = receipt::wing::wing_decompose(view, 4);
+            let (par, metrics) = receipt::wing_parallel::receipt_wing_decompose(view, 6, 4);
+            SmokeWingRun {
+                graph: name.to_string(),
+                num_edges: g.num_edges(),
+                max_wing: par.max_wing(),
+                wing: par.wing.clone(),
+                matches_sequential: par.wing == seq.wing,
+                wing_metrics: metrics,
+            }
+        })
+        .collect();
+    SmokeReport {
+        tip_runs,
+        wing_runs,
+    }
 }
 
 #[cfg(test)]

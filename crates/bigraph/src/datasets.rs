@@ -14,10 +14,13 @@
 
 use crate::csr::BipartiteCsr;
 use crate::gen;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One synthetic dataset preset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize` only: the `&'static str` fields cannot be deserialized into
+/// without borrowed-deserialization support, which the serde shim omits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct AnalogSpec {
     /// Two-letter name matching the paper ("It", ..., "Tr").
     pub name: &'static str,

@@ -11,25 +11,28 @@ use std::io::Write;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `tip <input> [--side U|V] [--partitions N] [--threads N]
-    /// [--no-huc] [--no-dgm] [--output FILE] [--stats]`
+    /// [--no-huc] [--no-dgm] [--output FILE] [--json] [--stats]`
     Tip {
         input: String,
         side: Side,
         config: Config,
         output: Option<String>,
+        json: bool,
         stats: bool,
     },
-    /// `wing <input> [--side U|V] [--partitions N] [--output FILE]`
+    /// `wing <input> [--side U|V] [--partitions N] [--output FILE] [--json]`
     Wing {
         input: String,
         side: Side,
         partitions: usize,
         output: Option<String>,
+        json: bool,
     },
-    /// `count <input> [--output FILE]`
+    /// `count <input> [--output FILE] [--json]`
     Count {
         input: String,
         output: Option<String>,
+        json: bool,
     },
     /// `ktips <input> -k N [--side U|V]`
     KTips {
@@ -49,6 +52,21 @@ pub enum Command {
     Help,
 }
 
+impl Command {
+    /// The subcommand keyword, used in run-error context.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Tip { .. } => "tip",
+            Command::Wing { .. } => "wing",
+            Command::Count { .. } => "count",
+            Command::KTips { .. } => "ktips",
+            Command::Stats { .. } => "stats",
+            Command::Generate { .. } => "generate",
+            Command::Help => "help",
+        }
+    }
+}
+
 /// Argument-parsing failure with a user-facing message.
 #[derive(Debug, PartialEq, Eq)]
 pub struct UsageError(pub String);
@@ -64,15 +82,19 @@ tipdecomp — tip/wing decomposition of bipartite graphs (RECEIPT, VLDB 2020)
 
 USAGE:
   tipdecomp tip <edges.tsv>   [--side U|V] [--partitions N] [--threads N]
-                              [--no-huc] [--no-dgm] [--output FILE] [--stats]
+                              [--no-huc] [--no-dgm] [--output FILE] [--json]
+                              [--stats]
   tipdecomp wing <edges.tsv>  [--side U|V] [--partitions N] [--output FILE]
-  tipdecomp count <edges.tsv> [--output FILE]
+                              [--json]
+  tipdecomp count <edges.tsv> [--output FILE] [--json]
   tipdecomp ktips <edges.tsv> -k N [--side U|V]
   tipdecomp stats <edges.tsv>
   tipdecomp generate <It|De|Or|Lj|En|Tr> [--output FILE]
 
 Input: whitespace-separated `u v` pairs; `%`/`#` comments ignored;
 1-based ids auto-detected (KONECT format).
+Output: `--json` emits a versioned report document (see README, \"JSON
+output\") instead of TSV; `--out` is an alias for `--output`.
 ";
 
 /// Parses `args` (without the binary name).
@@ -110,6 +132,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         Some(s) => return Err(UsageError(format!("--side expects U or V, got {s:?}"))),
     };
 
+    // `--out` is an alias for `--output`.
+    let output = || opt("--output").or_else(|| opt("--out")).cloned();
+
     match cmd.as_str() {
         "tip" => {
             let mut config = Config::default();
@@ -121,7 +146,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 input: positional(&rest)?,
                 side,
                 config,
-                output: opt("--output").cloned(),
+                output: output(),
+                json: flag("--json"),
                 stats: flag("--stats"),
             })
         }
@@ -129,11 +155,13 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             input: positional(&rest)?,
             side,
             partitions: opt_usize("--partitions", 0)?,
-            output: opt("--output").cloned(),
+            output: output(),
+            json: flag("--json"),
         }),
         "count" => Ok(Command::Count {
             input: positional(&rest)?,
-            output: opt("--output").cloned(),
+            output: output(),
+            json: flag("--json"),
         }),
         "ktips" => {
             let k = opt("-k")
@@ -151,7 +179,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         }),
         "generate" => Ok(Command::Generate {
             preset: positional(&rest)?,
-            output: opt("--output").cloned(),
+            output: output(),
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(UsageError(format!("unknown command {other:?}"))),
@@ -171,6 +199,13 @@ fn sink(output: &Option<String>) -> Result<Box<dyn Write>, String> {
     }
 }
 
+/// Pretty-prints a report document (plus trailing newline) to the sink.
+fn emit_json<T: serde::Serialize>(report: &T, output: &Option<String>) -> Result<(), String> {
+    let mut out = sink(output)?;
+    let text = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
+    writeln!(out, "{text}").map_err(|e| e.to_string())
+}
+
 /// Executes a parsed command. Returns the process exit code.
 pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
@@ -183,14 +218,22 @@ pub fn run(cmd: Command) -> Result<(), String> {
             side,
             config,
             output,
+            json,
             stats,
         } => {
             let g = load(&input)?;
             let d = receipt::tip_decompose(&g, side, &config);
-            let mut out = sink(&output)?;
-            writeln!(out, "# vertex\ttip_number").map_err(|e| e.to_string())?;
-            for (u, t) in d.tip.iter().enumerate() {
-                writeln!(out, "{u}\t{t}").map_err(|e| e.to_string())?;
+            if json {
+                emit_json(
+                    &receipt::report::TipReport::new(&input, &config, &d),
+                    &output,
+                )?;
+            } else {
+                let mut out = sink(&output)?;
+                writeln!(out, "# vertex\ttip_number").map_err(|e| e.to_string())?;
+                for (u, t) in d.tip.iter().enumerate() {
+                    writeln!(out, "{u}\t{t}").map_err(|e| e.to_string())?;
+                }
             }
             if stats {
                 let m = &d.metrics;
@@ -216,33 +259,49 @@ pub fn run(cmd: Command) -> Result<(), String> {
             side,
             partitions,
             output,
+            json,
         } => {
             let g = load(&input)?;
             let view = g.view(side);
-            let d = if partitions > 0 {
-                receipt::wing_parallel::receipt_wing_decompose(view, partitions, 4).0
+            let (d, wing_metrics) = if partitions > 0 {
+                let (d, m) = receipt::wing_parallel::receipt_wing_decompose(view, partitions, 4);
+                (d, Some(m))
             } else {
-                receipt::wing::wing_decompose(view, 4)
+                (receipt::wing::wing_decompose(view, 4), None)
             };
-            let mut out = sink(&output)?;
-            writeln!(out, "# u\tv\twing_number").map_err(|e| e.to_string())?;
-            for (e, &(u, v)) in d.edges.iter().enumerate() {
-                writeln!(out, "{u}\t{v}\t{}", d.wing[e]).map_err(|e| e.to_string())?;
+            if json {
+                let report =
+                    receipt::report::WingReport::new(&input, side, partitions, &d, wing_metrics);
+                emit_json(&report, &output)?;
+            } else {
+                let mut out = sink(&output)?;
+                writeln!(out, "# u\tv\twing_number").map_err(|e| e.to_string())?;
+                for (e, &(u, v)) in d.edges.iter().enumerate() {
+                    writeln!(out, "{u}\t{v}\t{}", d.wing[e]).map_err(|e| e.to_string())?;
+                }
             }
             Ok(())
         }
-        Command::Count { input, output } => {
+        Command::Count {
+            input,
+            output,
+            json,
+        } => {
             let g = load(&input)?;
             let c = butterfly::par_count_graph(&g);
-            let mut out = sink(&output)?;
-            writeln!(out, "# side\tvertex\tbutterflies").map_err(|e| e.to_string())?;
-            for (u, b) in c.u.iter().enumerate() {
-                writeln!(out, "U\t{u}\t{b}").map_err(|e| e.to_string())?;
+            if json {
+                emit_json(&receipt::report::CountReport::new(&input, &c), &output)?;
+            } else {
+                let mut out = sink(&output)?;
+                writeln!(out, "# side\tvertex\tbutterflies").map_err(|e| e.to_string())?;
+                for (u, b) in c.u.iter().enumerate() {
+                    writeln!(out, "U\t{u}\t{b}").map_err(|e| e.to_string())?;
+                }
+                for (v, b) in c.v.iter().enumerate() {
+                    writeln!(out, "V\t{v}\t{b}").map_err(|e| e.to_string())?;
+                }
+                eprintln!("total butterflies: {}", c.total());
             }
-            for (v, b) in c.v.iter().enumerate() {
-                writeln!(out, "V\t{v}\t{b}").map_err(|e| e.to_string())?;
-            }
-            eprintln!("total butterflies: {}", c.total());
             Ok(())
         }
         Command::KTips { input, side, k } => {
@@ -326,12 +385,14 @@ mod tests {
                 side,
                 config,
                 output,
+                json,
                 stats,
             } => {
                 assert_eq!(input, "g.tsv");
                 assert_eq!(side, Side::U);
                 assert_eq!(config, Config::default());
                 assert!(output.is_none());
+                assert!(!json);
                 assert!(!stats);
             }
             other => panic!("{other:?}"),
@@ -407,6 +468,7 @@ mod tests {
             side: Side::U,
             config: Config::default(),
             output: Some(out_path.to_string_lossy().into_owned()),
+            json: false,
             stats: false,
         })
         .unwrap();

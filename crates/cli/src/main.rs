@@ -1,4 +1,7 @@
 //! `tipdecomp` binary entry point.
+//!
+//! Exit codes: 0 on success, 2 for argument-parse errors (usage printed),
+//! 1 for run errors (message names the failing subcommand).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -9,8 +12,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let name = cmd.name();
     if let Err(e) = receipt_cli::run(cmd) {
-        eprintln!("error: {e}");
+        eprintln!(
+            "error: {e}\n  while running `tipdecomp {name}` (run `tipdecomp help` for usage)"
+        );
         std::process::exit(1);
     }
 }

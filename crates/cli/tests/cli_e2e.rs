@@ -118,8 +118,49 @@ fn wing_and_ktips_on_fixture() {
 }
 
 #[test]
-fn missing_file_exits_nonzero() {
+fn parse_errors_exit_2_with_usage() {
+    // Missing required input: exit 2, message plus full usage text.
+    let out = bin().arg("tip").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("needs an input file"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+
+    // Bad flag value: same contract.
+    let out = bin()
+        .args(["tip", "g.tsv", "--partitions", "many"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--partitions"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn run_errors_exit_1_with_subcommand_context() {
+    // Run errors (valid arguments, failing execution) exit 1 and name the
+    // failing subcommand so batch logs are attributable.
     let out = bin().args(["tip", "/no/such/file.tsv"]).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("failed to read"), "{stderr}");
+    assert!(stderr.contains("while running `tipdecomp tip`"), "{stderr}");
+
+    let out = bin().args(["wing", "/no/such/file.tsv"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("while running `tipdecomp wing`"),
+        "{stderr}"
+    );
+
+    let out = bin().args(["generate", "Zz"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown preset"), "{stderr}");
+    assert!(
+        stderr.contains("while running `tipdecomp generate`"),
+        "{stderr}"
+    );
 }

@@ -1,0 +1,138 @@
+//! Golden-snapshot tests for `tipdecomp --json`.
+//!
+//! Each test runs the real binary on a fixed fixture graph, parses the
+//! emitted JSON with the vendored `serde_json`, canonicalizes timing fields
+//! via `receipt::report::scrub_timings`, and compares the pretty-printed
+//! document byte-for-byte against the committed snapshot under
+//! `tests/golden/` at the repository root.
+//!
+//! To refresh after an intentional schema or algorithm change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p receipt_cli --test json_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The cli_e2e fixture: one butterfly (u0, u1 × v0, v1) plus a pendant u2.
+const FIXTURE: &str = "% fixture\n0 0\n0 1\n1 0\n1 1\n2 0\n";
+
+fn fixture_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tipdecomp_golden_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("g.tsv"), FIXTURE).unwrap();
+    dir
+}
+
+fn golden_path(file: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(file)
+}
+
+/// Runs `tipdecomp` with `args` inside `dir` (so the `input` field in the
+/// report is the stable relative path `g.tsv`) and returns stdout.
+fn run_json(dir: &Path, args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_tipdecomp"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "tipdecomp {args:?}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Scrubs timings and asserts the document matches the committed snapshot
+/// (or rewrites it under `UPDATE_GOLDEN=1`).
+fn assert_golden(document: &str, file: &str) {
+    let mut value = serde_json::from_str_value(document)
+        .unwrap_or_else(|e| panic!("binary emitted invalid JSON ({e}):\n{document}"));
+    receipt::report::scrub_timings(&mut value);
+    let normalized = serde_json::to_string_pretty(&value).unwrap() + "\n";
+    let path = golden_path(file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &normalized).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {path:?}: {e}\nregenerate with: \
+             UPDATE_GOLDEN=1 cargo test -p receipt_cli --test json_golden"
+        )
+    });
+    assert_eq!(
+        normalized, golden,
+        "golden snapshot {file} drifted; if the change is intentional, \
+         regenerate with: UPDATE_GOLDEN=1 cargo test -p receipt_cli --test json_golden"
+    );
+}
+
+#[test]
+fn tip_json_matches_golden() {
+    let dir = fixture_dir("tip");
+    let doc = run_json(&dir, &["tip", "g.tsv", "--json"]);
+    assert_golden(&doc, "tip_fixture.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wing_json_matches_golden() {
+    let dir = fixture_dir("wing");
+    let doc = run_json(&dir, &["wing", "g.tsv", "--partitions", "2", "--json"]);
+    assert_golden(&doc, "wing_fixture.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn count_json_matches_golden() {
+    let dir = fixture_dir("count");
+    let doc = run_json(&dir, &["count", "g.tsv", "--json"]);
+    assert_golden(&doc, "count_fixture.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_round_trips_byte_identically() {
+    // Independent of the snapshots: whatever the binary emits must
+    // parse → re-serialize to the identical bytes (modulo the trailing
+    // newline the CLI appends).
+    let dir = fixture_dir("roundtrip");
+    for args in [
+        vec!["tip", "g.tsv", "--json"],
+        vec!["wing", "g.tsv", "--json"],
+        vec!["wing", "g.tsv", "--partitions", "3", "--json"],
+        vec!["count", "g.tsv", "--json"],
+    ] {
+        let doc = run_json(&dir, &args);
+        let trimmed = doc.strip_suffix('\n').expect("doc ends with newline");
+        let value = serde_json::from_str_value(trimmed).unwrap();
+        assert_eq!(
+            serde_json::to_string_pretty(&value).unwrap(),
+            trimmed,
+            "{args:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_out_flag_writes_file() {
+    let dir = fixture_dir("outfile");
+    let out = Command::new(env!("CARGO_BIN_EXE_tipdecomp"))
+        .args(["tip", "g.tsv", "--json", "--out", "report.json"])
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "report went to the file, not stdout");
+    let doc = std::fs::read_to_string(dir.join("report.json")).unwrap();
+    let value = serde_json::from_str_value(&doc).unwrap();
+    assert_eq!(value["kind"].as_str(), Some("tip"));
+    assert_eq!(value["theta_max"].as_u64(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod parb;
 pub mod peel;
 pub mod queue;
+pub mod report;
 pub mod support;
 pub mod wing;
 pub mod wing_parallel;

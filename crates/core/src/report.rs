@@ -1,0 +1,228 @@
+//! Machine-readable run reports — the stable JSON schema emitted by
+//! `tipdecomp --json` and the `repro` harness.
+//!
+//! Every report starts with `schema_version` and `kind` so downstream
+//! tooling (golden-snapshot tests, the differential runner, EXPERIMENTS.md
+//! refreshes, cross-PR perf trajectories) can dispatch and evolve without
+//! sniffing field shapes. Timing fields are real measurements and therefore
+//! nondeterministic; [`scrub_timings`] canonicalizes them to zero so
+//! snapshots and diffs compare only machine-independent quantities
+//! (counts, tip/wing numbers, wedge work, sync rounds).
+
+use crate::wing_parallel::WingMetrics;
+use crate::{Config, Metrics, TipDecomposition};
+use bigraph::Side;
+use serde::{Deserialize, Serialize};
+
+/// Bumped whenever a field is renamed, removed, or changes meaning.
+/// (Purely additive fields do not require a bump.)
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Full result of one `tip` decomposition run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TipReport {
+    pub schema_version: u32,
+    /// Always `"tip"`.
+    pub kind: String,
+    /// Input path or dataset label, as given on the command line.
+    pub input: String,
+    pub side: Side,
+    pub config: Config,
+    pub num_vertices: usize,
+    pub theta_max: u64,
+    /// `tip[u] = θ_u` for every vertex of the decomposed side.
+    pub tip: Vec<u64>,
+    pub metrics: Metrics,
+}
+
+impl TipReport {
+    pub fn new(input: impl Into<String>, config: &Config, d: &TipDecomposition) -> Self {
+        TipReport {
+            schema_version: SCHEMA_VERSION,
+            kind: "tip".to_string(),
+            input: input.into(),
+            side: d.side,
+            config: config.clone(),
+            num_vertices: d.tip.len(),
+            theta_max: d.theta_max(),
+            tip: d.tip.clone(),
+            metrics: d.metrics.clone(),
+        }
+    }
+}
+
+/// Full result of one `wing` decomposition run (sequential or parallel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WingReport {
+    pub schema_version: u32,
+    /// Always `"wing"`.
+    pub kind: String,
+    pub input: String,
+    pub side: Side,
+    /// `P` for the RECEIPT-style parallel path; 0 means the sequential
+    /// bottom-up peel was used.
+    pub partitions: usize,
+    pub num_edges: usize,
+    pub max_wing: u64,
+    /// Edges in primary-CSR order, each `[u, v]`.
+    pub edges: Vec<(u32, u32)>,
+    /// `wing[e]` = wing number of `edges[e]`.
+    pub wing: Vec<u64>,
+    /// Intersection-step work of the run (diagnostic).
+    pub work: u64,
+    /// Phase metrics; `null` for the sequential path.
+    pub wing_metrics: Option<WingMetrics>,
+}
+
+impl WingReport {
+    pub fn new(
+        input: impl Into<String>,
+        side: Side,
+        partitions: usize,
+        d: &crate::wing::WingDecomposition,
+        wing_metrics: Option<WingMetrics>,
+    ) -> Self {
+        WingReport {
+            schema_version: SCHEMA_VERSION,
+            kind: "wing".to_string(),
+            input: input.into(),
+            side,
+            partitions,
+            num_edges: d.edges.len(),
+            max_wing: d.max_wing(),
+            edges: d.edges.clone(),
+            wing: d.wing.clone(),
+            work: d.work,
+            wing_metrics,
+        }
+    }
+}
+
+/// Per-vertex butterfly counts of one `count` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountReport {
+    pub schema_version: u32,
+    /// Always `"count"`.
+    pub kind: String,
+    pub input: String,
+    pub num_u: usize,
+    pub num_v: usize,
+    pub total_butterflies: u64,
+    pub u: Vec<u64>,
+    pub v: Vec<u64>,
+}
+
+impl CountReport {
+    pub fn new(input: impl Into<String>, counts: &butterfly::VertexCounts) -> Self {
+        let total = counts.total();
+        CountReport {
+            schema_version: SCHEMA_VERSION,
+            kind: "count".to_string(),
+            input: input.into(),
+            num_u: counts.u.len(),
+            num_v: counts.v.len(),
+            total_butterflies: total,
+            u: counts.u.clone(),
+            v: counts.v.clone(),
+        }
+    }
+}
+
+/// Canonicalizes every timing field in a parsed report so documents can be
+/// compared across runs and machines: object values under keys starting
+/// with `time_` are zeroed — `Duration` objects get `secs`/`nanos` set to
+/// 0, plain numbers (`time_*_secs` floats in `repro` rows) become 0.
+/// Recurses through arrays and objects; every other field is untouched.
+///
+/// This is the single source of truth for snapshot normalization: the
+/// golden tests, the differential runner, and the CI drift check all call
+/// it before comparing.
+pub fn scrub_timings(value: &mut serde_json::Value) {
+    match value {
+        serde_json::Value::Array(items) => {
+            for item in items {
+                scrub_timings(item);
+            }
+        }
+        serde_json::Value::Object(map) => {
+            for (key, entry) in map.iter_mut() {
+                if key.starts_with("time_") {
+                    match entry {
+                        serde_json::Value::Number(n) => {
+                            *n = serde_json::Number::PosInt(0);
+                        }
+                        serde_json::Value::Object(duration) => {
+                            for field in ["secs", "nanos"] {
+                                if let Some(v) = duration.get_mut(field) {
+                                    *v = serde_json::Value::Number(serde_json::Number::PosInt(0));
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                } else {
+                    scrub_timings(entry);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::builder::from_edges;
+
+    fn butterfly_graph() -> bigraph::BipartiteCsr {
+        from_edges(3, 2, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn tip_report_round_trips() {
+        let g = butterfly_graph();
+        let cfg = Config::default();
+        let d = crate::tip_decompose(&g, Side::U, &cfg);
+        let report = TipReport::new("g.tsv", &cfg, &d);
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: TipReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.tip, vec![1, 1, 0]);
+        assert_eq!(back.kind, "tip");
+        // Byte-identical re-serialization of the parsed document.
+        let value = serde_json::from_str_value(&text).unwrap();
+        assert_eq!(serde_json::to_string_pretty(&value).unwrap(), text);
+    }
+
+    #[test]
+    fn wing_report_round_trips() {
+        let g = butterfly_graph();
+        let view = g.view(Side::U);
+        let (d, m) = crate::wing_parallel::receipt_wing_decompose(view, 2, 4);
+        let report = WingReport::new("g.tsv", Side::U, 2, &d, Some(m));
+        let text = serde_json::to_string(&report).unwrap();
+        let back: WingReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.edges.len(), back.wing.len());
+    }
+
+    #[test]
+    fn scrub_zeroes_only_timings() {
+        let g = butterfly_graph();
+        let cfg = Config::default();
+        let d = crate::tip_decompose(&g, Side::U, &cfg);
+        let report = TipReport::new("g.tsv", &cfg, &d);
+        let mut value = serde_json::to_value(&report).unwrap();
+        scrub_timings(&mut value);
+        let metrics = &value["metrics"];
+        for phase in ["time_count", "time_cd", "time_fd"] {
+            assert_eq!(metrics[phase]["secs"].as_u64(), Some(0), "{phase}");
+            assert_eq!(metrics[phase]["nanos"].as_u64(), Some(0), "{phase}");
+        }
+        // Counts survive.
+        assert_eq!(value["theta_max"].as_u64(), Some(d.theta_max()));
+        let back: TipReport = serde_json::from_value(&value).unwrap();
+        assert_eq!(back.metrics.time_total(), std::time::Duration::ZERO);
+        assert_eq!(back.tip, report.tip);
+    }
+}

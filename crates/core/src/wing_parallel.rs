@@ -28,7 +28,7 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Metrics for a parallel wing decomposition run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WingMetrics {
     /// Butterfly-enumeration work (merge steps) in the coarse phase.
     pub work_cd: u64,

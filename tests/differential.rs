@@ -1,0 +1,182 @@
+//! Differential suite: the parallel CD+FD decompositions must equal their
+//! sequential/naive oracles on several generated graph families — and the
+//! comparison goes *through the JSON layer*: both runs are serialized to
+//! report documents, parsed back, and compared as decoded structs, so a
+//! serialization bug fails the suite just like an algorithmic one.
+
+use bigraph::{builder::from_edges, gen, BipartiteCsr, Side};
+use receipt::report::{CountReport, TipReport, WingReport};
+use receipt::{Config, Metrics};
+
+/// A handful of vertices share one hub plus a few private leaves — the
+/// star-dominated regime where peeling does almost no wedge work.
+fn star_heavy() -> BipartiteCsr {
+    let mut edges = Vec::new();
+    for u in 0..40u32 {
+        edges.push((u, 0)); // the hub
+        edges.push((u, 1 + u % 7)); // sparse second neighbours
+    }
+    for u in 0..8u32 {
+        edges.push((u, 8 + u)); // private leaves
+    }
+    from_edges(40, 16, &edges).unwrap()
+}
+
+/// Dense planted bicliques — the butterfly-rich regime.
+fn bipartite_clique() -> BipartiteCsr {
+    gen::planted_bicliques(24, 24, 3, 5, 5, 40, 13)
+}
+
+/// Sparse uniform noise.
+fn sparse_random() -> BipartiteCsr {
+    gen::uniform(80, 60, 200, 17)
+}
+
+/// Repeated interactions: every edge appears 2–3 times in the input list
+/// and must be merged by the builder before decomposition.
+fn duplicate_edge() -> BipartiteCsr {
+    let base = [
+        (0u32, 0u32),
+        (0, 1),
+        (1, 0),
+        (1, 1),
+        (2, 0),
+        (2, 2),
+        (3, 1),
+        (3, 2),
+        (3, 3),
+        (4, 3),
+    ];
+    let mut edges = Vec::new();
+    for (i, &e) in base.iter().enumerate() {
+        edges.push(e);
+        edges.push(e);
+        if i % 3 == 0 {
+            edges.push(e);
+        }
+    }
+    from_edges(5, 4, &edges).unwrap()
+}
+
+/// Skewed preferential attachment.
+fn preferential() -> BipartiteCsr {
+    gen::preferential_attachment(100, 50, 3, 23)
+}
+
+fn families() -> Vec<(&'static str, BipartiteCsr)> {
+    vec![
+        ("star-heavy", star_heavy()),
+        ("bipartite-clique", bipartite_clique()),
+        ("sparse-random", sparse_random()),
+        ("duplicate-edge", duplicate_edge()),
+        ("preferential", preferential()),
+    ]
+}
+
+/// Serialize → parse → decode, asserting the document also re-serializes
+/// byte-identically along the way.
+fn through_json<T>(report: &T, context: &str) -> T
+where
+    T: serde::Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+{
+    let text = serde_json::to_string_pretty(report).unwrap();
+    let tree = serde_json::from_str_value(&text)
+        .unwrap_or_else(|e| panic!("{context}: emitted invalid JSON: {e}"));
+    assert_eq!(
+        serde_json::to_string_pretty(&tree).unwrap(),
+        text,
+        "{context}: re-serialization drifted"
+    );
+    let decoded: T = serde_json::from_str(&text).unwrap();
+    assert_eq!(&decoded, report, "{context}: decode changed the report");
+    decoded
+}
+
+#[test]
+fn wing_parallel_equals_sequential_oracle_via_json() {
+    for (name, g) in families() {
+        let view = g.view(Side::U);
+        // Run 1: the RECEIPT-style parallel CD+FD path.
+        let (par, metrics) = receipt::wing_parallel::receipt_wing_decompose(view, 4, 4);
+        let par_doc = through_json(
+            &WingReport::new(name, Side::U, 4, &par, Some(metrics)),
+            name,
+        );
+        // Run 2: the sequential bottom-up oracle.
+        let seq = receipt::wing::wing_decompose(view, 4);
+        let seq_doc = through_json(&WingReport::new(name, Side::U, 0, &seq, None), name);
+        // Differential comparison happens on the decoded documents.
+        assert_eq!(par_doc.edges, seq_doc.edges, "{name}: edge order diverged");
+        assert_eq!(par_doc.wing, seq_doc.wing, "{name}: wing numbers diverged");
+        assert_eq!(par_doc.max_wing, seq_doc.max_wing, "{name}");
+        assert_eq!(par_doc.num_edges, g.num_edges(), "{name}");
+    }
+}
+
+#[test]
+fn tip_cd_fd_equals_bup_oracle_via_json() {
+    let config = Config::default().with_partitions(6);
+    for (name, g) in families() {
+        for side in [Side::U, Side::V] {
+            let context = format!("{name}/{side:?}");
+            // Run 1: RECEIPT (CD + FD).
+            let d = receipt::tip_decompose(&g, side, &config);
+            let receipt_doc = through_json(&TipReport::new(name, &config, &d), &context);
+            // Run 2: the sequential BUP oracle, wrapped in the same schema.
+            let oracle = receipt::bup::bup_decompose(&g, side, config.heap_arity);
+            let oracle_report = TipReport {
+                tip: oracle.tip.clone(),
+                theta_max: oracle.tip.iter().copied().max().unwrap_or(0),
+                metrics: Metrics::default(),
+                ..TipReport::new(name, &config, &d)
+            };
+            let oracle_doc = through_json(&oracle_report, &context);
+            assert_eq!(
+                receipt_doc.tip, oracle_doc.tip,
+                "{context}: CD+FD diverged from BUP"
+            );
+            assert_eq!(receipt_doc.theta_max, oracle_doc.theta_max, "{context}");
+        }
+    }
+}
+
+#[test]
+fn butterfly_counts_equal_naive_oracle_via_json() {
+    for (name, g) in families() {
+        let fast = butterfly::par_count_graph(&g);
+        let fast_doc = through_json(&CountReport::new(name, &fast), name);
+        let naive = butterfly::naive::naive_counts(&g);
+        let naive_doc = through_json(&CountReport::new(name, &naive), name);
+        assert_eq!(fast_doc.u, naive_doc.u, "{name}: U counts diverged");
+        assert_eq!(fast_doc.v, naive_doc.v, "{name}: V counts diverged");
+        assert_eq!(
+            fast_doc.total_butterflies, naive_doc.total_butterflies,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_edges_are_merged_before_decomposition() {
+    // The duplicate-edge family must behave exactly like its deduplicated
+    // form end to end.
+    let dup = duplicate_edge();
+    let base = [
+        (0u32, 0u32),
+        (0, 1),
+        (1, 0),
+        (1, 1),
+        (2, 0),
+        (2, 2),
+        (3, 1),
+        (3, 2),
+        (3, 3),
+        (4, 3),
+    ];
+    let clean = from_edges(5, 4, &base).unwrap();
+    assert_eq!(dup.num_edges(), clean.num_edges());
+    let cfg = Config::default();
+    let a = receipt::tip_decompose(&dup, Side::U, &cfg);
+    let b = receipt::tip_decompose(&clean, Side::U, &cfg);
+    assert_eq!(a.tip, b.tip);
+}

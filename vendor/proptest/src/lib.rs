@@ -4,10 +4,17 @@
 //! `proptest!` macro (with optional `#![proptest_config(...)]`), range and
 //! tuple strategies, `prop_map`/`prop_flat_map`, `collection::vec`,
 //! `any::<bool>()`, and the `prop_assert*` macros. Cases are generated from
-//! a fixed seed, so failures reproduce deterministically. Unlike real
-//! proptest there is **no shrinking** — a failure reports the case index
-//! and the assert message only. Swap the path dependency for real proptest
-//! when registry access is available; test sources need no changes.
+//! a fixed seed, so failures reproduce deterministically.
+//!
+//! Failures **shrink**: the failing input tuple is repeatedly replaced by
+//! simpler candidates ([`Strategy::shrink`] — integers halve toward the
+//! range start, vectors truncate and shrink elements, `true` flips to
+//! `false`) as long as the failure still reproduces, then the minimized
+//! input is re-run outside the catch so the real assertion message
+//! surfaces. Mapped strategies (`prop_map`/`prop_flat_map`) are one-way
+//! functions and do not shrink — their output is reported as generated.
+//! Swap the path dependency for real proptest when registry access is
+//! available; test sources need no changes.
 
 use std::ops::Range;
 
@@ -41,6 +48,15 @@ pub trait Strategy {
     type Value;
 
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler candidates for a failing `value`, most aggressive first.
+    /// The runner keeps a candidate only if the failure still reproduces.
+    /// The default (no candidates) is correct for strategies that cannot
+    /// shrink, e.g. one-way `prop_map`s.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     fn prop_map<O, F>(self, f: F) -> strategy::MapStrategy<Self, F>
     where
@@ -120,14 +136,34 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
                 self.start.wrapping_add(rng.below(span) as $t)
             }
+
+            /// Halve the offset from the range start: `start`, the
+            /// midpoint, and one step down. Monotone predicates converge
+            /// to their exact boundary value.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let offset = (*value as u64).wrapping_sub(self.start as u64);
+                let mut offsets = Vec::new();
+                for o in [0, offset / 2, offset.saturating_sub(1)] {
+                    if o < offset && !offsets.contains(&o) {
+                        offsets.push(o);
+                    }
+                }
+                offsets
+                    .into_iter()
+                    .map(|o| self.start.wrapping_add(o as $t))
+                    .collect()
+            }
         }
     )*};
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
-    ($(($($name:ident),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($( ( $(($name:ident, $idx:tt)),+ ) )*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -135,15 +171,28 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.new_value(rng),)+)
             }
+
+            /// One component shrunk at a time, the rest held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     )*};
 }
 impl_tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
+    ((A, 0))
+    ((A, 0), (B, 1))
+    ((A, 0), (B, 1), (C, 2))
+    ((A, 0), (B, 1), (C, 2), (D, 3))
+    ((A, 0), (B, 1), (C, 2), (D, 3), (E, 4))
 }
 
 /// `any::<T>()` — the canonical strategy for a type.
@@ -164,6 +213,14 @@ impl Strategy for AnyBool {
 
     fn new_value(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -213,13 +270,48 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo) as u64;
             let len = self.size.lo + rng.below(span.max(1)) as usize;
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+
+        /// Truncations first (down to the minimum length, halving, one
+        /// off the end), then element-wise shrinks — the latter only for
+        /// short vectors, so candidate generation stays cheap on the
+        /// thousands-of-elements inputs some tests use.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo;
+            if value.len() > lo {
+                let mut lengths = vec![lo];
+                let half = value.len() / 2;
+                if half > lo && half < value.len() {
+                    lengths.push(half);
+                }
+                if !lengths.contains(&(value.len() - 1)) {
+                    lengths.push(value.len() - 1);
+                }
+                for len in lengths {
+                    out.push(value[..len].to_vec());
+                }
+            }
+            if value.len() <= 64 {
+                for (i, item) in value.iter().enumerate() {
+                    for candidate in self.element.shrink(item) {
+                        let mut next = value.clone();
+                        next[i] = candidate;
+                        out.push(next);
+                    }
+                }
+            }
+            out
         }
     }
 }
@@ -250,6 +342,54 @@ pub mod prelude {
     pub use crate::strategy::Just;
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
     pub use crate::{Arbitrary, ProptestConfig, Strategy};
+}
+
+/// Runs one case body against a clone of `value`, reporting whether it
+/// passed (no panic). Free function rather than a macro-local closure so
+/// the body closure's argument type is pinned by `S::Value` — bodies that
+/// need the concrete type early (e.g. array literals of the bindings)
+/// would otherwise hit closure-inference ordering limits.
+#[doc(hidden)]
+pub fn case_passes<S: Strategy>(
+    _strategy: &S,
+    value: &S::Value,
+    body: impl FnOnce(S::Value),
+) -> bool
+where
+    S::Value: Clone,
+{
+    let value = value.clone();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(value))).is_ok()
+}
+
+/// Runs the body uncaught (used to surface the minimized failure).
+#[doc(hidden)]
+pub fn run_case<S: Strategy>(_strategy: &S, value: S::Value, body: impl FnOnce(S::Value)) {
+    body(value)
+}
+
+/// Runs `f` (the shrink loop) with the default panic hook silenced for
+/// panics raised *on this thread*, so each failing shrink candidate does
+/// not dump its own panic message — only the initial failure and the final
+/// minimized re-run print. Panics on other threads (parallel tests, pool
+/// workers) still reach the previous hook.
+#[doc(hidden)]
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    use std::sync::Arc;
+    let shrinking_thread = std::thread::current().id();
+    let previous: Arc<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync> =
+        Arc::from(std::panic::take_hook());
+    let delegate = Arc::clone(&previous);
+    std::panic::set_hook(Box::new(move |info| {
+        if std::thread::current().id() != shrinking_thread {
+            delegate(info);
+        }
+    }));
+    let out = f();
+    // Restore the previous hook (wrapped — the original Box was consumed).
+    drop(std::panic::take_hook());
+    std::panic::set_hook(Box::new(move |info| previous(info)));
+    out
 }
 
 /// Deterministic base seed; each test function offsets it by a hash of the
@@ -289,15 +429,61 @@ macro_rules! __proptest_items {
             for case in 0..config.cases {
                 let mut rng =
                     $crate::TestRng::new($crate::case_seed(stringify!($name), case));
-                $(let $pat = $crate::Strategy::new_value(&($strategy), &mut rng);)+
-                $body
+                // All bindings generate through one tuple strategy so the
+                // whole input can be shrunk as a unit. Component order
+                // matches the binding order, so the value stream (and thus
+                // every historical seed) is unchanged.
+                let __strategy = ($(($strategy),)+);
+                let __vals = $crate::Strategy::new_value(&__strategy, &mut rng);
+                if $crate::case_passes(&__strategy, &__vals, |($($pat,)+)| $body) {
+                    continue;
+                }
+                // Failure: greedily take any simpler candidate that still
+                // fails, bounded so pathological bodies terminate. Panic
+                // output from the probed candidates is suppressed.
+                let __vals = $crate::with_quiet_panics(|| {
+                    let mut __vals = __vals;
+                    let mut __budget = 512usize;
+                    '__shrinking: while __budget > 0 {
+                        let __candidates = $crate::Strategy::shrink(&__strategy, &__vals);
+                        for __candidate in __candidates {
+                            if __budget == 0 {
+                                break '__shrinking;
+                            }
+                            __budget -= 1;
+                            if !$crate::case_passes(
+                                &__strategy,
+                                &__candidate,
+                                |($($pat,)+)| $body,
+                            ) {
+                                __vals = __candidate;
+                                continue '__shrinking;
+                            }
+                        }
+                        break;
+                    }
+                    __vals
+                });
+                // Re-run the minimized input uncaught so the original
+                // assertion failure (with its message) surfaces.
+                eprintln!(
+                    "proptest: case {} of `{}` failed; re-running minimized input",
+                    case,
+                    stringify!($name),
+                );
+                $crate::run_case(&__strategy, __vals, |($($pat,)+)| $body);
+                panic!(
+                    "proptest: case {case} failed when generated but its minimized \
+                     form passed on re-run (non-deterministic test body?)"
+                );
             }
         }
         $crate::__proptest_items!(($config) $($rest)*);
     };
 }
 
-/// No-shrinking stand-ins: failures panic immediately with the message.
+/// Assert stand-ins: failures panic with the message; the `proptest!`
+/// runner catches the panic, shrinks the input, and re-raises.
 #[macro_export]
 macro_rules! prop_assert {
     ($($arg:tt)*) => { assert!($($arg)*) };
@@ -358,6 +544,84 @@ mod tests {
         #[test]
         fn second_fn_in_same_block(y in 3usize..4) {
             prop_assert_eq!(y, 3);
+        }
+    }
+
+    /// Drives a shrink loop by hand (the macro's algorithm) and returns the
+    /// minimized failing value.
+    fn minimize<S: Strategy>(
+        strat: &S,
+        mut value: S::Value,
+        fails: impl Fn(&S::Value) -> bool,
+    ) -> S::Value
+    where
+        S::Value: Clone,
+    {
+        assert!(fails(&value), "starting value must fail");
+        'outer: loop {
+            for candidate in strat.shrink(&value) {
+                if fails(&candidate) {
+                    value = candidate;
+                    continue 'outer;
+                }
+            }
+            return value;
+        }
+    }
+
+    #[test]
+    fn integer_shrink_converges_to_boundary() {
+        // Monotone predicate: halving lands exactly on the threshold.
+        let strat = (0u64..1000,);
+        let min = minimize(&strat, (900,), |v| v.0 >= 17);
+        assert_eq!(min.0, 17);
+        // Range with a nonzero start shrinks toward the start, not 0.
+        let strat = (5i32..200,);
+        let min = minimize(&strat, (150,), |v| v.0 >= 5);
+        assert_eq!(min.0, 5);
+    }
+
+    #[test]
+    fn vector_shrink_truncates_to_minimal_length() {
+        let strat = crate::collection::vec(5u64..6, 0..40);
+        let start = vec![5u64; 33];
+        let min = minimize(&strat, start, |v| v.len() >= 3);
+        assert_eq!(min.len(), 3);
+        // Length floor is respected.
+        let strat = crate::collection::vec(0u32..10, 2..40);
+        let min = minimize(&strat, vec![9, 9, 9, 9, 9], |v| v.len() >= 2);
+        assert_eq!(min.len(), 2);
+    }
+
+    #[test]
+    fn vector_elements_shrink_too() {
+        let strat = crate::collection::vec(0u64..100, 1..8);
+        let min = minimize(&strat, vec![70, 80], |v| v.iter().any(|&x| x >= 30));
+        assert_eq!(min, vec![30]);
+    }
+
+    #[test]
+    fn bool_and_tuple_shrink() {
+        let strat = (any::<bool>(), 0u8..50);
+        let min = minimize(&strat, (true, 40), |v| v.1 >= 10);
+        assert_eq!(min, (false, 10));
+    }
+
+    #[test]
+    fn passing_values_produce_no_candidates_at_range_start() {
+        assert!(Strategy::shrink(&(3u64..9), &3).is_empty());
+        assert!(Strategy::shrink(&crate::AnyBool, &false).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        // End-to-end through the macro: the failing body must shrink and
+        // re-raise (the re-run of the minimized input panics).
+        #[test]
+        #[should_panic]
+        fn failing_case_shrinks_and_panics(x in 10u64..1000) {
+            prop_assert!(x < 10, "got {}", x);
         }
     }
 }

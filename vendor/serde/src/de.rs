@@ -1,0 +1,63 @@
+//! Deserialization half of the data model.
+//!
+//! Real serde hands a `Visitor` to the format; this shim inverts that:
+//! compound values return *sub-deserializers* (`Vec<Self>` for sequences,
+//! `Vec<(String, Self)>` for maps) that the caller recurses into. That only
+//! works for tree-shaped, fully-buffered formats — exactly what the
+//! vendored `serde_json` provides — and keeps both the derive output and
+//! the `Deserializer` impls short.
+
+use std::fmt::{Debug, Display};
+
+/// Errors produced while deserializing.
+pub trait Error: Debug + Display + Sized {
+    /// Wraps an arbitrary message.
+    fn custom(msg: String) -> Self;
+
+    fn invalid_type(expected: &str, found: &str) -> Self {
+        Self::custom(format!("invalid type: expected {expected}, found {found}"))
+    }
+
+    fn invalid_length(expected: usize, found: usize) -> Self {
+        Self::custom(format!(
+            "invalid length: expected {expected} elements, found {found}"
+        ))
+    }
+
+    fn missing_field(ty: &'static str, field: &'static str) -> Self {
+        Self::custom(format!("missing field `{field}` of `{ty}`"))
+    }
+
+    fn unknown_variant(ty: &'static str, variant: &str) -> Self {
+        Self::custom(format!("unknown variant `{variant}` of enum `{ty}`"))
+    }
+}
+
+/// A positioned cursor over one value of a self-describing format.
+pub trait Deserializer: Sized {
+    type Error: Error;
+
+    fn deserialize_bool(self) -> Result<bool, Self::Error>;
+    fn deserialize_i64(self) -> Result<i64, Self::Error>;
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+    /// JSON `null`.
+    fn deserialize_unit(self) -> Result<(), Self::Error>;
+    /// Non-consuming probe used by `Option<T>`: is the value `null`?
+    fn is_null(&self) -> bool;
+    /// A sequence, as one sub-deserializer per element.
+    fn deserialize_seq(self) -> Result<Vec<Self>, Self::Error>;
+    /// A map, as `(key, sub-deserializer)` pairs in document order.
+    fn deserialize_map(self) -> Result<Vec<(String, Self)>, Self::Error>;
+    /// A struct. Formats may use `fields` for validation; the default
+    /// treats structs exactly like maps.
+    fn deserialize_struct(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+    ) -> Result<Vec<(String, Self)>, Self::Error> {
+        let _ = (name, fields);
+        self.deserialize_map()
+    }
+}

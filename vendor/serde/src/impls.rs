@@ -1,0 +1,256 @@
+//! `Serialize`/`Deserialize` impls for the std types the workspace uses.
+
+use crate::de::{self, Deserializer};
+use crate::ser::{SerializeMap, SerializeSeq, Serializer};
+use crate::{Deserialize, Serialize};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Primitives.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bool()
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(i64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.deserialize_i64()?;
+                <$t>::try_from(v).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.deserialize_u64()?;
+                <$t>::try_from(v).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.deserialize_i64()?;
+        isize::try_from(v).map_err(|_| de::Error::custom(format!("{v} out of range for isize")))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(deserializer.deserialize_f64()? as f32)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_f64()
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_unit()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// References and containers.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .deserialize_seq()?
+            .into_iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => serializer.serialize_some(v),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        if deserializer.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(deserializer).map(Some)
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($len:expr => $($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some($len))?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize<__D: Deserializer>(deserializer: __D) -> Result<Self, __D::Error> {
+                let items = deserializer.deserialize_seq()?;
+                if items.len() != $len {
+                    return Err(de::Error::invalid_length($len, items.len()));
+                }
+                let mut it = items.into_iter();
+                Ok(($($name::deserialize(it.next().expect("length checked"))?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (1 => A.0)
+    (2 => A.0, B.1)
+    (3 => A.0, B.1, C.2)
+    (4 => A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// std::time::Duration — `{ "secs": u64, "nanos": u32 }`, as in real serde.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(2))?;
+        map.serialize_entry("secs", &self.as_secs())?;
+        map.serialize_entry("nanos", &self.subsec_nanos())?;
+        map.end()
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        let mut secs: Option<u64> = None;
+        let mut nanos: Option<u32> = None;
+        for (key, value) in deserializer.deserialize_map()? {
+            match key.as_str() {
+                "secs" => secs = Some(u64::deserialize(value)?),
+                "nanos" => nanos = Some(u32::deserialize(value)?),
+                _ => {}
+            }
+        }
+        match (secs, nanos) {
+            (Some(s), Some(n)) => Ok(Duration::new(s, n)),
+            _ => Err(de::Error::custom(
+                "Duration requires `secs` and `nanos` fields".to_string(),
+            )),
+        }
+    }
+}

@@ -1,16 +1,45 @@
-//! Offline vendored shim for the `serde` crate.
+//! Offline vendored shim for the `serde` crate — now with real machinery.
 //!
-//! Provides marker `Serialize`/`Deserialize` traits and re-exports the
-//! no-op derives from the sibling `serde_derive` shim. The workspace
-//! currently only tags types as serializable; when real serialization
-//! lands, replace both path dependencies with the actual crates — call
-//! sites (`use serde::{Deserialize, Serialize}` + `#[derive(...)]`)
-//! are already written against the real API.
+//! Earlier revisions only provided marker traits; this version implements a
+//! working (deliberately small) subset of serde's data model so the
+//! workspace can emit and consume JSON through the sibling `serde_json`
+//! shim:
+//!
+//! * [`Serialize`] drives a by-value [`ser::Serializer`] with compound
+//!   builders ([`ser::SerializeSeq`], [`ser::SerializeMap`],
+//!   [`ser::SerializeStruct`]) — the same shape as real serde, minus
+//!   `serialize_newtype_*`/`serialize_tuple_*` and friends the workspace
+//!   does not use.
+//! * [`Deserialize`] pulls from a by-value [`de::Deserializer`]. Instead of
+//!   serde's visitor pattern, compound values hand back *sub-deserializers*
+//!   (`Vec<Self>` for sequences, `Vec<(String, Self)>` for maps), which is
+//!   enough for tree-shaped self-describing formats like JSON and keeps the
+//!   derive output simple.
+//! * `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   shim) emits real field-by-field impls for named-field structs and
+//!   unit-variant enums.
+//!
+//! Unsupported (vs. real serde): borrowed deserialization (`&'de str`),
+//! non-unit enum variants, generics on derived types, and serde attributes
+//! (`#[serde(...)]`). Swap the path dependency for the real crates when
+//! registry access is available — call sites use the real API surface.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+pub mod de;
+pub mod ser;
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize {}
+mod impls;
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+/// A value that can be written to any [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be reconstructed from any [`Deserializer`].
+pub trait Deserialize: Sized {
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error>;
+}

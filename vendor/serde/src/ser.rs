@@ -1,0 +1,81 @@
+//! Serialization half of the data model.
+
+use crate::Serialize;
+use std::fmt::{Debug, Display};
+
+/// Errors produced while serializing.
+pub trait Error: Debug + Display + Sized {
+    /// Wraps an arbitrary message.
+    fn custom(msg: String) -> Self;
+}
+
+/// Format driver. Methods consume `self`; compound values continue through
+/// the associated builder types.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// `()` — JSON `null`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// `None` — JSON `null`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// `Some(value)` serializes transparently as `value`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// A fieldless enum variant — JSON string of the variant name.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// Builder for sequence elements.
+pub trait SerializeSeq {
+    type Ok;
+    type Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for map entries. Keys are restricted to strings — the only key
+/// type JSON supports.
+pub trait SerializeMap {
+    type Ok;
+    type Error;
+
+    fn serialize_entry<T: Serialize + ?Sized>(
+        &mut self,
+        key: &str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for struct fields, in declaration order.
+pub trait SerializeStruct {
+    type Ok;
+    type Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}

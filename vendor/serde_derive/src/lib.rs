@@ -1,40 +1,304 @@
-//! Offline vendored shim for `serde_derive`.
+//! Offline vendored shim for `serde_derive` — real derive expansion.
 //!
-//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata —
-//! nothing serializes yet (no `serde_json` call sites exist). These derives
-//! therefore expand to marker trait impls so the attribute stays valid and
-//! the types advertise serializability, without pulling in the real proc
-//! macro stack. Replace together with `vendor/serde` when registry access is
-//! available.
+//! Parses the derive input with raw `proc_macro` tokens (no `syn`/`quote`
+//! in an offline build) and emits field-by-field `Serialize`/`Deserialize`
+//! impls against the sibling `serde` shim's data model.
+//!
+//! Supported shapes, which cover every derive site in the workspace:
+//!
+//! * structs with named fields — serialized as a JSON object in field
+//!   declaration order; deserialization accepts fields in any order,
+//!   ignores unknown fields (like real serde without
+//!   `deny_unknown_fields`), and errors on missing ones;
+//! * enums with only unit variants — serialized as the variant name string.
+//!
+//! Tuple/unit structs, data-carrying variants, generics, and `#[serde]`
+//! attributes are rejected with a compile error rather than silently
+//! mis-serialized.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
 
-/// Extracts the identifier that follows `struct`/`enum` in the derive input
-/// and renders `impl serde::Trait for Ident {}`. Generic types would need
-/// real parsing; the workspace only derives on plain types.
-fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
-    let mut tokens = input.into_iter().peekable();
-    while let Some(tt) = tokens.next() {
-        if let TokenTree::Ident(ref id) = tt {
-            let kw = id.to_string();
-            if kw == "struct" || kw == "enum" {
-                if let Some(TokenTree::Ident(name)) = tokens.next() {
-                    return format!("impl ::serde::{trait_name} for {name} {{}}")
-                        .parse()
-                        .expect("generated impl parses");
+/// What the derive input declared.
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+/// Skips any `#[...]` attributes at the cursor.
+fn skip_attributes(tokens: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        // The bracketed attribute body.
+        if let Some(TokenTree::Group(_)) = tokens.peek() {
+            tokens.next();
+        }
+    }
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(super)` visibility at the cursor.
+fn skip_visibility(tokens: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
                 }
             }
         }
     }
-    TokenStream::new()
+}
+
+/// Extracts field names from the token stream of a `{ ... }` struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Consume the type up to the next top-level comma. Commas nested in
+        // parenthesized groups are separate token trees; commas inside
+        // generic arguments need angle-bracket depth tracking because `<`
+        // and `>` are plain puncts.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(name);
+    }
+    if fields.is_empty() {
+        return Err("derive requires at least one named field".to_string());
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from the token stream of an `enum { ... }` body,
+/// rejecting variants that carry data.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(other) => {
+                return Err(format!(
+                    "variant `{name}` is not a unit variant (found `{other}`); \
+                     the serde shim only derives fieldless enums"
+                ))
+            }
+        }
+    }
+    if variants.is_empty() {
+        return Err("derive requires at least one variant".to_string());
+    }
+    Ok(variants)
+}
+
+/// Parses the derive input down to a [`Shape`].
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        match tokens.next() {
+            None => return Err("no `struct` or `enum` in derive input".to_string()),
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw != "struct" && kw != "enum" {
+                    continue; // visibility or other modifiers
+                }
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                let body = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        return Err(format!(
+                            "`{name}` is generic; the serde shim only derives plain types"
+                        ))
+                    }
+                    _ => {
+                        return Err(format!(
+                            "`{name}` is a tuple or unit type; the serde shim only \
+                             derives named-field structs and fieldless enums"
+                        ))
+                    }
+                };
+                return if kw == "struct" {
+                    Ok(Shape::Struct {
+                        name,
+                        fields: parse_named_fields(body)?,
+                    })
+                } else {
+                    Ok(Shape::Enum {
+                        name,
+                        variants: parse_unit_variants(body)?,
+                    })
+                };
+            }
+            Some(_) => continue,
+        }
+    }
+}
+
+fn expand_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut body = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)");
+            impl_serialize(name, &body)
+        }
+        Shape::Enum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for v in variants {
+                body.push_str(&format!(
+                    "{name}::{v} => ::serde::ser::Serializer::serialize_unit_variant(\
+                     __serializer, \"{name}\", \"{v}\"),\n"
+                ));
+            }
+            body.push('}');
+            impl_serialize(name, &body)
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn expand_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let field_list = fields
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut body = format!(
+                "const __FIELDS: &[&str] = &[{field_list}];\n\
+                 let __entries = ::serde::de::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", __FIELDS)?;\n"
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "let mut __f_{f} = ::core::option::Option::None;\n"
+                ));
+            }
+            body.push_str("for (__key, __value) in __entries {\nmatch __key.as_str() {\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "\"{f}\" => {{ __f_{f} = ::core::option::Option::Some(\
+                     ::serde::Deserialize::deserialize(__value)?); }}\n"
+                ));
+            }
+            // Unknown fields are ignored, as in real serde's default.
+            body.push_str("_ => {}\n}\n}\n");
+            body.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: match __f_{f} {{\n\
+                     ::core::option::Option::Some(__v) => __v,\n\
+                     ::core::option::Option::None => return ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::missing_field(\"{name}\", \"{f}\")),\n\
+                     }},\n"
+                ));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Shape::Enum { name, variants } => {
+            let mut body = String::from(
+                "let __s = ::serde::de::Deserializer::deserialize_string(__deserializer)?;\n\
+                 match __s.as_str() {\n",
+            );
+            for v in variants {
+                body.push_str(&format!(
+                    "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            body.push_str(&format!(
+                "__other => ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::unknown_variant(\"{name}\", __other)),\n}}"
+            ));
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer>(__deserializer: __D)\n\
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
 }
 
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "Serialize")
+    match parse_shape(input) {
+        Ok(shape) => expand_serialize(&shape)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&format!("#[derive(Serialize)]: {msg}")),
+    }
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "Deserialize")
+    match parse_shape(input) {
+        Ok(shape) => expand_deserialize(&shape)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&format!("#[derive(Deserialize)]: {msg}")),
+    }
 }

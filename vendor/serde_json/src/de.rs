@@ -1,0 +1,419 @@
+//! Parsing: a recursive-descent JSON parser producing [`Value`] trees.
+
+use crate::value::{Map, Number, Value};
+use crate::Error;
+
+/// Nesting depth cap — deep enough for any real document, shallow enough
+/// that hostile input cannot overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+pub(crate) fn parse(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    /// Positioned error at the current cursor. The cursor may sit mid-way
+    /// through a multibyte character (byte-wise scanning), so clamp to the
+    /// previous char boundary before slicing.
+    fn error(&self, msg: impl Into<String>) -> Error {
+        let mut end = self.pos.min(self.input.len());
+        while !self.input.is_char_boundary(end) {
+            end -= 1;
+        }
+        let consumed = &self.input[..end];
+        let line = consumed.bytes().filter(|&b| b == b'\n').count() + 1;
+        let column = consumed
+            .rsplit_once('\n')
+            .map_or(consumed.chars().count(), |(_, tail)| tail.chars().count())
+            + 1;
+        Error::at(msg, line, column)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("invalid literal, expected `{literal}`")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error(format!("recursion depth exceeds {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected string object key"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            // Duplicate keys: last occurrence wins, like real serde_json.
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(String::from_utf8(out).expect("input was UTF-8"));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                Some(b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut Vec<u8>) -> Result<(), Error> {
+        let escaped = self.peek().ok_or_else(|| self.error("truncated escape"))?;
+        self.pos += 1;
+        let simple = match escaped {
+            b'"' => Some(b'"'),
+            b'\\' => Some(b'\\'),
+            b'/' => Some(b'/'),
+            b'b' => Some(0x08),
+            b'f' => Some(0x0c),
+            b'n' => Some(b'\n'),
+            b'r' => Some(b'\r'),
+            b't' => Some(b'\t'),
+            b'u' => None,
+            other => {
+                // `other` may be the first byte of a multibyte character;
+                // describe it without assuming it is a complete char.
+                let shown = if other.is_ascii() {
+                    format!("`\\{}`", other as char)
+                } else {
+                    format!("byte 0x{other:02x}")
+                };
+                return Err(self.error(format!("invalid escape {shown}")));
+            }
+        };
+        if let Some(b) = simple {
+            out.push(b);
+            return Ok(());
+        }
+        // \uXXXX, possibly a surrogate pair.
+        let first = self.parse_hex4()?;
+        let c = if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let second = self.parse_hex4()?;
+                if !(0xDC00..0xE000).contains(&second) {
+                    return Err(self.error("invalid low surrogate in \\u escape pair"));
+                }
+                let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                char::from_u32(combined)
+                    .ok_or_else(|| self.error("invalid surrogate pair in \\u escape"))?
+            } else {
+                return Err(self.error("unpaired high surrogate in \\u escape"));
+            }
+        } else if (0xDC00..0xE000).contains(&first) {
+            return Err(self.error("unpaired low surrogate in \\u escape"));
+        } else {
+            char::from_u32(first).ok_or_else(|| self.error("invalid \\u escape"))?
+        };
+        let mut buf = [0u8; 4];
+        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        // Byte-wise so a multibyte character inside the escape cannot make
+        // a string slice straddle a char boundary.
+        let mut v = 0u32;
+        for &b in &self.bytes[self.pos..end] {
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.error("invalid hex digits in \\u escape")),
+            };
+            v = (v << 4) | u32::from(digit);
+        }
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("invalid number: missing integer digits")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("invalid number: missing fraction digits"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("invalid number: missing exponent digits"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if !is_float {
+            if negative {
+                match text.parse::<i64>() {
+                    // `-0` is a float in JSON semantics: it is distinct from
+                    // `0` only through IEEE negative zero.
+                    Ok(0) => return Ok(Value::Number(Number::Float(-0.0))),
+                    Ok(v) => return Ok(Value::Number(Number::NegInt(v))),
+                    Err(_) => {} // overflow: fall through to f64
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            // Integer overflow falls through to f64.
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.error(format!("invalid number `{text}`")))?;
+        if !v.is_finite() {
+            return Err(self.error(format!("number `{text}` out of range")));
+        }
+        Ok(Value::Number(Number::Float(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(v("null"), Value::Null);
+        assert_eq!(v("true"), Value::Bool(true));
+        assert_eq!(v(" false "), Value::Bool(false));
+        assert_eq!(v("42"), Value::Number(Number::PosInt(42)));
+        assert_eq!(v("-7"), Value::Number(Number::NegInt(-7)));
+        assert_eq!(v("1.5"), Value::Number(Number::Float(1.5)));
+        assert_eq!(v("1e3"), Value::Number(Number::Float(1000.0)));
+        assert_eq!(v("-2.5e-2"), Value::Number(Number::Float(-0.025)));
+        assert_eq!(v("\"hi\""), Value::String("hi".to_string()));
+    }
+
+    #[test]
+    fn negative_zero_is_float() {
+        match v("-0") {
+            Value::Number(Number::Float(f)) => {
+                assert_eq!(f, 0.0);
+                assert!(f.is_sign_negative());
+            }
+            other => panic!("{other:?}"),
+        }
+        // And it reserializes to the same text.
+        assert_eq!(crate::to_string(&v("-0")).unwrap(), "-0");
+    }
+
+    #[test]
+    fn integer_overflow_becomes_float() {
+        assert!(matches!(
+            v("99999999999999999999999999"),
+            Value::Number(Number::Float(_))
+        ));
+        assert_eq!(
+            v("18446744073709551615"),
+            Value::Number(Number::PosInt(u64::MAX))
+        );
+        assert_eq!(
+            v("-9223372036854775808"),
+            Value::Number(Number::NegInt(i64::MIN))
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = v(r#""a\"b\\c\/d\b\f\n\r\te\u0041\u00e9\ud83e\udd80""#);
+        assert_eq!(
+            s,
+            Value::String("a\"b\\c/d\u{8}\u{c}\n\r\teAé🦀".to_string())
+        );
+        // Serialize → parse gives back the same string.
+        let text = crate::to_string(&s).unwrap();
+        assert_eq!(v(&text), s);
+    }
+
+    #[test]
+    fn nested_structure_and_key_order() {
+        let doc = v(r#"{"b": [1, {"x": null}], "a": {"z": 1, "y": 2}}"#);
+        assert_eq!(doc["b"].as_array().unwrap().len(), 2);
+        let keys: Vec<_> = doc.as_object().unwrap().keys().cloned().collect();
+        assert_eq!(keys, ["b", "a"]); // insertion order, not sorted
+        let inner: Vec<_> = doc["a"].as_object().unwrap().keys().cloned().collect();
+        assert_eq!(inner, ["z", "y"]);
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        assert_eq!(v(r#"{"k": 1, "k": 2}"#)["k"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let e = parse("{\n  \"a\": tru\n}").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.to_string().contains("true"), "{e}");
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("[1] garbage").is_err());
+        assert!(parse("01").is_err());
+        assert!(parse("\"\\q\"").is_err());
+        assert!(parse("\"\\ud800\"").is_err(), "lone high surrogate");
+        // Multibyte characters in malformed positions must produce errors,
+        // not char-boundary panics (byte-wise cursor slicing).
+        assert!(parse("\"\\é\"").is_err(), "multibyte escape char");
+        assert!(parse("\"\\u00€\"").is_err(), "multibyte inside \\u digits");
+        assert!(parse("é").is_err(), "multibyte at top level");
+        assert!(parse("1.").is_err());
+        assert!(parse("1e").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.to_string().contains("depth"), "{e}");
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+}

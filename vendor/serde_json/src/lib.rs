@@ -1,0 +1,159 @@
+//! Offline vendored shim for the `serde_json` crate.
+//!
+//! Implements the subset the workspace uses against the vendored `serde`
+//! shim's data model:
+//!
+//! * [`Value`] — a JSON document tree whose objects preserve **insertion
+//!   order** (like `serde_json` with `preserve_order`), so
+//!   parse → re-serialize is byte-identical;
+//! * [`from_str`] / [`from_value`] — a recursive-descent parser with full
+//!   escape handling (including `\uXXXX` surrogate pairs), int/float
+//!   disambiguation, and positioned errors, plus typed decoding through
+//!   `serde::Deserialize`;
+//! * [`to_string`] / [`to_string_pretty`] / [`to_writer`] /
+//!   [`to_writer_pretty`] / [`to_value`] — a writer-based serializer
+//!   driven by `serde::Serialize` (pretty output uses 2-space indent,
+//!   matching real `serde_json`).
+//!
+//! Number formatting: floats print via Rust's shortest round-trippable
+//! `Display`, so integral floats (e.g. `1.0`) serialize as `1` and re-parse
+//! as integers — documents produced by this serializer always round-trip
+//! byte-identically, which the test harness relies on. Non-finite floats
+//! serialize as `null`, as in real `serde_json`.
+//!
+//! Differences from the real crate (beyond scale): `from_value` borrows the
+//! input, deserialization is owned (no `&'de str` borrowing), and there is
+//! no streaming reader.
+
+mod de;
+mod ser;
+mod value;
+
+pub use value::{Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Error raised by parsing, serialization, or typed decoding. Parse errors
+/// carry a 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+
+    pub(crate) fn at(msg: impl Into<String>, line: usize, column: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            line,
+            column,
+        }
+    }
+
+    /// 1-based line of a parse error (0 for non-parse errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of a parse error (0 for non-parse errors).
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.msg, self.line, self.column
+            )
+        } else {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom(msg: String) -> Self {
+        Error::new(msg)
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom(msg: String) -> Self {
+        Error::new(msg)
+    }
+}
+
+/// Parses a complete JSON document into a [`Value`].
+pub fn from_str_value(input: &str) -> Result<Value, Error> {
+    de::parse(input)
+}
+
+/// Parses a complete JSON document and decodes it into `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = de::parse(input)?;
+    from_value(&value)
+}
+
+/// Decodes a [`Value`] tree into `T`.
+///
+/// Unlike real serde_json this borrows the value instead of consuming it —
+/// the decoding path is owned, so nothing is gained by taking ownership.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(&mut ser::JsonSerializer::compact(&mut out))?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(&mut ser::JsonSerializer::pretty(&mut out))?;
+    Ok(out)
+}
+
+/// Serializes `value` compactly into an [`std::io::Write`].
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("write failed: {e}")))
+}
+
+/// Serializes `value` pretty-printed into an [`std::io::Write`].
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string_pretty(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("write failed: {e}")))
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ser::ValueSerializer)
+}

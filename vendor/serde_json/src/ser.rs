@@ -1,0 +1,392 @@
+//! Serialization: a writer-based JSON emitter and a `Value`-tree builder,
+//! both driven through `serde::Serializer`.
+
+use crate::value::{Map, Number, Value};
+use crate::Error;
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+use serde::Serialize;
+
+/// Escapes and quotes `s` per RFC 8259: `"`, `\`, the two-character forms
+/// for the common control characters, `\u00XX` for the rest.
+pub(crate) fn write_escaped_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a float with Rust's shortest round-trippable `Display`. Integral
+/// floats print without a fractional part (and re-parse as integers);
+/// non-finite values print as `null`, as in real serde_json.
+pub(crate) fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Streaming JSON writer. `compact` emits no whitespace; `pretty` uses
+/// 2-space indentation in serde_json's style.
+pub struct JsonSerializer<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    depth: usize,
+}
+
+impl<'a> JsonSerializer<'a> {
+    pub fn compact(out: &'a mut String) -> Self {
+        JsonSerializer {
+            out,
+            pretty: false,
+            depth: 0,
+        }
+    }
+
+    pub fn pretty(out: &'a mut String) -> Self {
+        JsonSerializer {
+            out,
+            pretty: true,
+            depth: 0,
+        }
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+}
+
+/// In-progress array.
+pub struct SeqWriter<'s, 'a> {
+    ser: &'s mut JsonSerializer<'a>,
+    has_elements: bool,
+}
+
+/// In-progress object (serves both maps and structs).
+pub struct ObjWriter<'s, 'a> {
+    ser: &'s mut JsonSerializer<'a>,
+    has_entries: bool,
+}
+
+impl<'s, 'a> Serializer for &'s mut JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = SeqWriter<'s, 'a>;
+    type SerializeMap = ObjWriter<'s, 'a>;
+    type SerializeStruct = ObjWriter<'s, 'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        write_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped_str(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        write_escaped_str(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Error> {
+        self.out.push('[');
+        self.depth += 1;
+        Ok(SeqWriter {
+            ser: self,
+            has_elements: false,
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        Ok(ObjWriter {
+            ser: self,
+            has_entries: false,
+        })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        Ok(ObjWriter {
+            ser: self,
+            has_entries: false,
+        })
+    }
+}
+
+impl SerializeSeq for SeqWriter<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        if self.has_elements {
+            self.ser.out.push(',');
+        }
+        self.has_elements = true;
+        if self.ser.pretty {
+            self.ser.newline_indent();
+        }
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.ser.depth -= 1;
+        if self.ser.pretty && self.has_elements {
+            self.ser.newline_indent();
+        }
+        self.ser.out.push(']');
+        Ok(())
+    }
+}
+
+impl ObjWriter<'_, '_> {
+    fn write_key(&mut self, key: &str) {
+        if self.has_entries {
+            self.ser.out.push(',');
+        }
+        self.has_entries = true;
+        if self.ser.pretty {
+            self.ser.newline_indent();
+        }
+        write_escaped_str(self.ser.out, key);
+        self.ser.out.push(':');
+        if self.ser.pretty {
+            self.ser.out.push(' ');
+        }
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        self.ser.depth -= 1;
+        if self.ser.pretty && self.has_entries {
+            self.ser.newline_indent();
+        }
+        self.ser.out.push('}');
+        Ok(())
+    }
+}
+
+impl SerializeMap for ObjWriter<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<T: Serialize + ?Sized>(
+        &mut self,
+        key: &str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.write_key(key);
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for ObjWriter<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.write_key(name);
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value-tree builder (`crate::to_value`).
+// ---------------------------------------------------------------------------
+
+/// Serializer whose output is a [`Value`] tree.
+pub struct ValueSerializer;
+
+/// In-progress `Value::Array`.
+pub struct ValueSeqBuilder {
+    items: Vec<Value>,
+}
+
+/// In-progress `Value::Object`.
+pub struct ValueMapBuilder {
+    map: Map,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = ValueSeqBuilder;
+    type SerializeMap = ValueMapBuilder;
+    type SerializeStruct = ValueMapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(if v < 0 {
+            Value::Number(Number::NegInt(v))
+        } else {
+            Value::Number(Number::PosInt(v as u64))
+        })
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::PosInt(v)))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::Float(v)))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_string()))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeqBuilder, Error> {
+        Ok(ValueSeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<ValueMapBuilder, Error> {
+        Ok(ValueMapBuilder { map: Map::new() })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<ValueMapBuilder, Error> {
+        Ok(ValueMapBuilder { map: Map::new() })
+    }
+}
+
+impl SerializeSeq for ValueSeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+impl SerializeMap for ValueMapBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_entry<T: Serialize + ?Sized>(
+        &mut self,
+        key: &str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.map.insert(key, value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.map))
+    }
+}
+
+impl SerializeStruct for ValueMapBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.map.insert(name, value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.map))
+    }
+}

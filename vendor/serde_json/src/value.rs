@@ -1,0 +1,387 @@
+//! The JSON document tree.
+
+use crate::Error;
+use serde::de::{self, Deserializer};
+use serde::ser::{SerializeMap, SerializeSeq, Serializer};
+use serde::Serialize;
+
+/// A JSON number. The parser produces `PosInt` for unsigned integer
+/// literals, `NegInt` for negative ones, and `Float` whenever a fraction,
+/// exponent, or out-of-range magnitude forces one (plus `-0`, which JSON
+/// distinguishes from `0` only as a float).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Lossy view of any numeric variant.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+/// A JSON object that preserves insertion order, so that parsing a document
+/// and re-serializing it reproduces the original key order byte-for-byte.
+/// Lookups are linear scans — fine for the report-sized documents the
+/// workspace produces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `key`, replacing the value in place (keeping the original
+    /// position) if the key already exists. Returns the previous value.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => Some(std::mem::replace(slot, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+/// Any JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    /// Human-readable type name, used in decode errors.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(map) => map.get_mut(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Panics on non-objects and missing keys, like real serde_json's
+    /// `Index` for `&str` on non-objects (missing keys there yield `Null`;
+    /// panicking instead surfaces typos in tests immediately).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("no key {key:?} in {}", self.type_name()))
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = crate::to_string(self).map_err(|_| std::fmt::Error)?;
+        f.write_str(&s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Number(Number::PosInt(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        if v < 0 {
+            Value::Number(Number::NegInt(v))
+        } else {
+            Value::Number(Number::PosInt(v as u64))
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A Value re-serializes through any Serializer (this is what makes
+// parse → re-serialize and Value-embedding-in-reports work).
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(Number::PosInt(v)) => serializer.serialize_u64(*v),
+            Value::Number(Number::NegInt(v)) => serializer.serialize_i64(*v),
+            Value::Number(Number::Float(v)) => serializer.serialize_f64(*v),
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(map) => {
+                let mut m = serializer.serialize_map(Some(map.len()))?;
+                for (key, value) in map.iter() {
+                    m.serialize_entry(key, value)?;
+                }
+                m.end()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding: `&Value` is a serde Deserializer.
+// ---------------------------------------------------------------------------
+
+fn type_error<T>(expected: &str, found: &Value) -> Result<T, Error> {
+    Err(de::Error::invalid_type(expected, found.type_name()))
+}
+
+impl<'a> Deserializer for &'a Value {
+    type Error = Error;
+
+    fn deserialize_bool(self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => type_error("boolean", other),
+        }
+    }
+
+    fn deserialize_i64(self) -> Result<i64, Error> {
+        match self {
+            Value::Number(n) => n
+                .as_i64()
+                .ok_or_else(|| de::Error::custom(format!("{n:?} out of range for i64"))),
+            other => type_error("number", other),
+        }
+    }
+
+    fn deserialize_u64(self) -> Result<u64, Error> {
+        match self {
+            Value::Number(n) => n
+                .as_u64()
+                .ok_or_else(|| de::Error::custom(format!("{n:?} out of range for u64"))),
+            other => type_error("number", other),
+        }
+    }
+
+    fn deserialize_f64(self) -> Result<f64, Error> {
+        match self {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => type_error("number", other),
+        }
+    }
+
+    fn deserialize_string(self) -> Result<String, Error> {
+        match self {
+            Value::String(s) => Ok(s.clone()),
+            other => type_error("string", other),
+        }
+    }
+
+    fn deserialize_unit(self) -> Result<(), Error> {
+        match self {
+            Value::Null => Ok(()),
+            other => type_error("null", other),
+        }
+    }
+
+    fn is_null(&self) -> bool {
+        Value::is_null(self)
+    }
+
+    fn deserialize_seq(self) -> Result<Vec<&'a Value>, Error> {
+        match self {
+            Value::Array(items) => Ok(items.iter().collect()),
+            other => type_error("array", other),
+        }
+    }
+
+    fn deserialize_map(self) -> Result<Vec<(String, &'a Value)>, Error> {
+        match self {
+            Value::Object(map) => Ok(map.iter().map(|(k, v)| (k.clone(), v)).collect()),
+            other => type_error("object", other),
+        }
+    }
+}
