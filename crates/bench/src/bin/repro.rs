@@ -17,14 +17,29 @@
 //!   projection  §1 motivation: unipartite-projection blowup
 //!   smoke    small deterministic oracle-checked runs (CI / golden snapshot)
 //!   all      everything above except smoke, in order
+//!
+//!   check-threads FILE...   CI gate: decode two or more `--json` reports
+//!            (e.g. the same experiment at RAYON_NUM_THREADS 1 and 4),
+//!            scrub timings + scheduler telemetry, and fail (exit 1) unless
+//!            every machine-independent field is identical — different
+//!            thread counts must produce the same decomposition results
+//!   check-sched FILE        CI gate: decode one `--json` report's
+//!            `scheduler` section and fail (exit 1) unless the counters
+//!            match the run's thread budget — ≥ 2 threads must show > 1
+//!            worker executing tasks and ≥ 1 successful steal, 1 thread
+//!            must show zero steals (the single-thread fast path)
 //! ```
 //!
 //! `--json` emits a versioned [`receipt_bench::report::ReproReport`]
 //! document instead of text (supported for `table2`, `table3`, `wing`,
 //! `smoke` — the figure experiments are timing curves with no structured
-//! content beyond what table3 already covers). `--out FILE` redirects
-//! either format. `EXPERIMENTS.md` records one full text run;
-//! `tests/golden/repro_smoke.json` pins the timing-scrubbed smoke document.
+//! content beyond what table3 already covers). Every JSON document carries
+//! a `scheduler` section (work-stealing counters; `smoke` first drives a
+//! deterministic fork-join workload through the pool so the section
+//! reflects nested-parallel scheduling even though the smoke graphs are
+//! tiny). `--out FILE` redirects either format. `EXPERIMENTS.md` records
+//! one full text run; `tests/golden/repro_smoke.json` pins the
+//! timing-and-scheduler-scrubbed smoke document.
 
 use bigraph::Side;
 use receipt::{hierarchy, Config};
@@ -36,7 +51,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut out: Option<String> = None;
-    let mut what: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,11 +61,35 @@ fn main() {
                 None => fail("--out expects a file path"),
             },
             flag if flag.starts_with('-') => fail(&format!("unknown flag `{flag}`")),
-            exp if what.is_none() => what = Some(exp.to_string()),
-            extra => fail(&format!("unexpected argument `{extra}`")),
+            positional_arg => positional.push(positional_arg.to_string()),
         }
     }
-    let what = what.unwrap_or_else(|| "all".to_string());
+    let what = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let operands = &positional[positional.len().min(1)..];
+
+    // The check subcommands consume file operands; everything else is a
+    // single experiment name.
+    match what.as_str() {
+        "check-threads" => {
+            if operands.len() < 2 {
+                fail("check-threads expects two or more report files");
+            }
+            check_threads(operands);
+            return;
+        }
+        "check-sched" => {
+            let [file] = operands else {
+                fail("check-sched expects exactly one report file");
+            };
+            check_sched(file);
+            return;
+        }
+        _ if !operands.is_empty() => fail(&format!("unexpected argument `{}`", operands[0])),
+        _ => {}
+    }
 
     if json {
         let report = match build_json(&what) {
@@ -149,10 +188,182 @@ fn build_json(what: &str) -> Option<ReproReport> {
         "table2" => report.table2 = Some(table2_rows()),
         "table3" => report.table3 = Some(table3_rows()),
         "wing" => report.wing = Some(wing_rows()),
-        "smoke" => report.smoke = Some(smoke_report()),
+        "smoke" => {
+            report.smoke = Some(smoke_report());
+            // The smoke graphs are deliberately tiny, so drive one
+            // deterministic fork-join workload through the pool before
+            // snapshotting: the scheduler section must witness nested
+            // parallelism for the CI steal gate to be meaningful.
+            scheduler_exercise();
+        }
         _ => return None,
     }
+    report.scheduler = Some(scheduler_report());
     Some(report)
+}
+
+/// Exit for a failed CI gate: distinct from argument errors (exit 2) so
+/// workflows can tell misuse from a genuine regression.
+fn gate_fail(msg: &str) -> ! {
+    eprintln!("check failed: {msg}");
+    std::process::exit(1);
+}
+
+fn read_report_value(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| gate_fail(&format!("cannot read {path}: {e}")));
+    serde_json::from_str_value(&text)
+        .unwrap_or_else(|e| gate_fail(&format!("{path} is not valid JSON: {e}")))
+}
+
+/// `repro check-threads a.json b.json ...` — all reports must describe the
+/// same machine-independent results once timings and scheduler telemetry
+/// (the only legitimately thread-count-dependent content) are scrubbed.
+fn check_threads(files: &[String]) {
+    let mut scrubbed: Vec<serde_json::Value> = Vec::with_capacity(files.len());
+    for path in files {
+        let mut value = read_report_value(path);
+        receipt::report::scrub_timings(&mut value);
+        receipt::report::scrub_scheduler(&mut value);
+        scrubbed.push(value);
+    }
+    for (path, value) in files.iter().zip(&scrubbed).skip(1) {
+        if let Some(diff) = first_diff(&scrubbed[0], value, String::new()) {
+            gate_fail(&format!(
+                "{path} diverges from {} at `{diff}`: \
+                 different thread counts must produce identical results",
+                files[0]
+            ));
+        }
+    }
+    println!(
+        "check-threads ok: {} reports agree on all machine-independent fields",
+        files.len()
+    );
+}
+
+/// First JSON-pointer-ish path where two scrubbed documents differ.
+fn first_diff(a: &serde_json::Value, b: &serde_json::Value, path: String) -> Option<String> {
+    use serde_json::Value;
+    match (a, b) {
+        (Value::Object(ma), Value::Object(mb)) => {
+            for (key, va) in ma.iter() {
+                match mb.get(key) {
+                    None => return Some(format!("{path}/{key} (missing in second)")),
+                    Some(vb) => {
+                        if let Some(d) = first_diff(va, vb, format!("{path}/{key}")) {
+                            return Some(d);
+                        }
+                    }
+                }
+            }
+            for (key, _) in mb.iter() {
+                if ma.get(key).is_none() {
+                    return Some(format!("{path}/{key} (missing in first)"));
+                }
+            }
+            None
+        }
+        (Value::Array(xs), Value::Array(ys)) => {
+            if xs.len() != ys.len() {
+                return Some(format!(
+                    "{path} (array lengths {} vs {})",
+                    xs.len(),
+                    ys.len()
+                ));
+            }
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                if let Some(d) = first_diff(x, y, format!("{path}/{i}")) {
+                    return Some(d);
+                }
+            }
+            None
+        }
+        _ => (a != b).then(|| {
+            if path.is_empty() {
+                "/".to_string()
+            } else {
+                path
+            }
+        }),
+    }
+}
+
+/// `repro check-sched report.json` — the scheduler section must match the
+/// run's thread budget: parallel runs prove the work-stealing path ran
+/// (> 1 worker executed tasks, ≥ 1 successful steal), single-thread runs
+/// prove the inline fast path stayed off the queues (zero steals).
+fn check_sched(file: &str) {
+    let text = std::fs::read_to_string(file)
+        .unwrap_or_else(|e| gate_fail(&format!("cannot read {file}: {e}")));
+    let report: ReproReport = serde_json::from_str(&text)
+        .unwrap_or_else(|e| gate_fail(&format!("{file} is not a ReproReport: {e}")));
+    let Some(sched) = report.scheduler else {
+        gate_fail(&format!("{file} has no scheduler section"));
+    };
+    if sched.tasks_executed != sched.jobs_submitted {
+        gate_fail(&format!(
+            "{file}: tasks_executed ({}) != jobs_submitted ({}) — \
+             the report was built at a non-quiescent point or accounting leaked",
+            sched.tasks_executed, sched.jobs_submitted
+        ));
+    }
+    if sched.steals_succeeded > sched.steals_attempted {
+        gate_fail(&format!(
+            "{file}: steals_succeeded ({}) > steals_attempted ({})",
+            sched.steals_succeeded, sched.steals_attempted
+        ));
+    }
+    let busy_workers = sched
+        .per_worker_executed
+        .iter()
+        .filter(|&&count| count > 0)
+        .count();
+    // The submitting caller is the budget's first executor; the pool only
+    // spawns `threads - 1` workers. So a budget-2 run can prove load
+    // sharing only as "one worker plus the helping caller", while budget
+    // >= 3 (two or more workers) must show > 1 worker executing tasks.
+    let busy_executors = busy_workers + usize::from(sched.helper_executed > 0);
+    if sched.threads >= 2 {
+        if busy_executors <= 1 {
+            gate_fail(&format!(
+                "{file}: {} threads but only {busy_executors} executor(s) ran tasks \
+                 (per_worker_executed = {:?}, helper_executed = {})",
+                sched.threads, sched.per_worker_executed, sched.helper_executed
+            ));
+        }
+        if sched.threads >= 3 && busy_workers <= 1 {
+            gate_fail(&format!(
+                "{file}: {} threads but only {busy_workers} worker(s) executed tasks \
+                 (per_worker_executed = {:?})",
+                sched.threads, sched.per_worker_executed
+            ));
+        }
+        if sched.steals_succeeded == 0 {
+            gate_fail(&format!(
+                "{file}: {} threads but zero successful steals \
+                 ({} attempted) — the work-stealing path never ran",
+                sched.threads, sched.steals_attempted
+            ));
+        }
+    } else if sched.steals_succeeded != 0 {
+        gate_fail(&format!(
+            "{file}: single-thread run performed {} steal(s) — \
+             the budget-1 fast path must stay off the queues",
+            sched.steals_succeeded
+        ));
+    }
+    println!(
+        "check-sched ok: threads={} workers_spawned={} busy_workers={busy_workers} \
+         steals={}/{} injector={}/{} tasks={}",
+        sched.threads,
+        sched.workers_spawned,
+        sched.steals_succeeded,
+        sched.steals_attempted,
+        sched.injector_pops,
+        sched.injector_pushes,
+        sched.tasks_executed,
+    );
 }
 
 fn header(title: &str) {

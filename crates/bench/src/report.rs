@@ -12,7 +12,8 @@ use receipt::{Config, Metrics};
 use serde::{Deserialize, Serialize};
 
 /// One `repro` invocation. Exactly one experiment section is populated;
-/// the others stay `null`.
+/// the others stay `null`. Every JSON experiment additionally carries a
+/// [`SchedulerReport`] snapshot taken after the experiment ran.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReproReport {
     pub schema_version: u32,
@@ -24,6 +25,11 @@ pub struct ReproReport {
     pub table3: Option<Vec<Table3Row>>,
     pub wing: Option<Vec<WingRow>>,
     pub smoke: Option<SmokeReport>,
+    /// Cumulative work-stealing scheduler counters at the end of the run.
+    /// Nondeterministic (OS-scheduling-dependent), so snapshot/diff
+    /// consumers scrub it via `receipt::report::scrub_scheduler`; the CI
+    /// scheduler gate (`repro check-sched`) asserts on it instead.
+    pub scheduler: Option<SchedulerReport>,
 }
 
 impl ReproReport {
@@ -36,8 +42,41 @@ impl ReproReport {
             table3: None,
             wing: None,
             smoke: None,
+            scheduler: None,
         }
     }
+}
+
+/// Snapshot of the vendored rayon pool's work-stealing scheduler counters
+/// (`rayon::scheduler_stats()`), cumulative over the process. This is what
+/// makes thread-scaling runs machine-checkable: CI parses it from
+/// `repro smoke --json` and gates on steal activity instead of eyeballing
+/// `time` output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerReport {
+    pub schema_version: u32,
+    /// Ambient parallelism budget of the run (`RAYON_NUM_THREADS` or the
+    /// machine default) — what the CI gate keys its expectations on.
+    pub threads: usize,
+    /// OS worker threads the pool spawned (`total_workers_spawned()`).
+    pub workers_spawned: usize,
+    /// Jobs handed to the scheduler (inline fast-path work not included).
+    pub jobs_submitted: u64,
+    /// Jobs finished; equals `jobs_submitted` at exit (the process is
+    /// quiescent when the report is built) — `check-sched` asserts it.
+    pub tasks_executed: u64,
+    /// Jobs executed by non-worker threads helping while blocked.
+    pub helper_executed: u64,
+    /// Jobs executed by each pool worker, indexed by worker id.
+    pub per_worker_executed: Vec<u64>,
+    /// External submissions pushed to the shared injector queue.
+    pub injector_pushes: u64,
+    /// Jobs checked out of the injector.
+    pub injector_pops: u64,
+    /// Victim deques probed during steal scans.
+    pub steals_attempted: u64,
+    /// Jobs actually taken from another worker's deque.
+    pub steals_succeeded: u64,
 }
 
 /// Table 2: per-dataset statistics.
@@ -88,6 +127,10 @@ pub struct WingRow {
     pub sync_rounds: u64,
     pub max_wing: u64,
     pub wings_match: bool,
+    /// FNV-1a digest of the parallel run's wing numbers, in edge order.
+    /// Lets `repro check-threads` compare the full decomposition across
+    /// thread counts without embedding tens of thousands of values.
+    pub wing_checksum: u64,
 }
 
 /// `repro smoke`: small deterministic runs cross-checked against the

@@ -1,8 +1,11 @@
 //! Shared experiment plumbing: dataset instantiation, algorithm runners,
 //! structured row builders, and row formatting for the `repro` harness.
 
-use crate::report::{SmokeReport, SmokeTipRun, SmokeWingRun, Table2Row, Table3Row, WingRow};
+use crate::report::{
+    SchedulerReport, SmokeReport, SmokeTipRun, SmokeWingRun, Table2Row, Table3Row, WingRow,
+};
 use bigraph::{datasets::AnalogSpec, stats, BipartiteCsr, Side};
+use rayon::prelude::*;
 use receipt::{bup::BaselineResult, Config, TipDecomposition};
 use std::time::Duration;
 
@@ -67,6 +70,70 @@ pub fn run_bup(w: &Workload) -> BaselineResult {
 
 pub fn run_parb(w: &Workload) -> BaselineResult {
     receipt::parb::parb_decompose(&w.graph, w.side, 4)
+}
+
+/// FNV-1a over little-endian `u64` words — the digest behind
+/// `WingRow::wing_checksum` (thread-count-invariant decomposition id).
+pub fn fnv1a_u64(values: &[u64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &value in values {
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Snapshot of the vendored pool's work-stealing counters, shaped for the
+/// JSON report. Taken after an experiment ran, so it covers the whole
+/// process's scheduling activity.
+pub fn scheduler_report() -> SchedulerReport {
+    let stats = rayon::scheduler_stats();
+    SchedulerReport {
+        schema_version: receipt::report::SCHEMA_VERSION,
+        threads: rayon::current_num_threads(),
+        workers_spawned: stats.workers_spawned,
+        jobs_submitted: stats.jobs_submitted,
+        tasks_executed: stats.tasks_executed,
+        helper_executed: stats.helper_executed,
+        per_worker_executed: stats.per_worker_executed,
+        injector_pushes: stats.injector_pushes,
+        injector_pops: stats.injector_pops,
+        steals_attempted: stats.steals_attempted,
+        steals_succeeded: stats.steals_succeeded,
+    }
+}
+
+/// Drives a deterministic fork-join-plus-sort workload through the pool so
+/// a following [`scheduler_report`] reflects real nested-parallel
+/// scheduling even when an experiment's graphs are small (the smoke
+/// workload is seconds-scale by design). At budget 1 every construct here
+/// takes the inline fast path — no jobs are submitted, so the `t=1`
+/// zero-steal CI gate still observes a quiet scheduler.
+pub fn scheduler_exercise() {
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    // ~50µs of hashing per leaf keeps owners busy long enough for thieves
+    // to wake and steal the siblings off their deques.
+    fn leaf(x: u64) -> u64 {
+        (0..20_000u64).fold(x, |acc, i| mix(acc ^ i))
+    }
+    fn tree(depth: u32, x: u64) -> u64 {
+        if depth == 0 {
+            return leaf(x);
+        }
+        let (a, b) = rayon::join(|| tree(depth - 1, 2 * x), || tree(depth - 1, 2 * x + 1));
+        a ^ b
+    }
+    let mut v: Vec<u64> = (0..200_000u64).map(mix).collect();
+    v.par_sort_unstable();
+    std::hint::black_box(tree(8, 1));
+    std::hint::black_box(v);
 }
 
 /// Seconds with 3 decimals, matching the paper's `t(s)` column.
@@ -186,6 +253,7 @@ pub fn wing_rows() -> Vec<WingRow> {
                 sync_rounds: metrics.sync_rounds,
                 max_wing: par.max_wing(),
                 wings_match: true,
+                wing_checksum: fnv1a_u64(&par.wing),
             }
         })
         .collect()
@@ -276,5 +344,26 @@ mod tests {
     fn formatting() {
         assert_eq!(secs(Duration::from_millis(1500)), "1.500");
         assert_eq!(millions(2_500_000), "2.50");
+    }
+
+    #[test]
+    fn wing_checksum_is_order_and_value_sensitive() {
+        assert_eq!(fnv1a_u64(&[]), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a_u64(&[1, 2, 3]), fnv1a_u64(&[3, 2, 1]));
+        assert_ne!(fnv1a_u64(&[1, 2, 3]), fnv1a_u64(&[1, 2, 4]));
+        assert_eq!(fnv1a_u64(&[7, 8]), fnv1a_u64(&[7, 8]));
+    }
+
+    #[test]
+    fn scheduler_report_is_internally_consistent() {
+        scheduler_exercise();
+        let report = scheduler_report();
+        assert_eq!(report.threads, rayon::current_num_threads());
+        assert_eq!(report.per_worker_executed.len(), report.workers_spawned);
+        assert!(report.steals_succeeded <= report.steals_attempted);
+        assert_eq!(
+            report.tasks_executed,
+            report.helper_executed + report.per_worker_executed.iter().sum::<u64>()
+        );
     }
 }

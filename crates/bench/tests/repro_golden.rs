@@ -34,6 +34,9 @@ fn smoke_json_matches_golden() {
     let mut value = serde_json::from_str_value(&doc)
         .unwrap_or_else(|e| panic!("repro emitted invalid JSON ({e}):\n{doc}"));
     receipt::report::scrub_timings(&mut value);
+    // Scheduler counters depend on OS scheduling; `repro check-sched`
+    // gates on them, snapshots do not.
+    receipt::report::scrub_scheduler(&mut value);
     let normalized = serde_json::to_string_pretty(&value).unwrap() + "\n";
     let path = golden_path();
     if std::env::var_os("UPDATE_GOLDEN").is_some() {

@@ -47,12 +47,16 @@ pub fn fine_decompose(
     let arity = config.heap_arity;
 
     // rayon::scope (not std::thread::scope) for two reasons: the workers
-    // run as persistent-pool jobs — reused threads, no per-call spawning —
-    // and they inherit the ambient pool budget, so nested parallel work
-    // inside a subset splits by the configured thread count instead of
-    // falling back to all cores. (Each worker gets the full budget, so
-    // concurrent nested work can still reach threads² queued jobs —
-    // bounded by the config, and serviced by the fixed worker set.)
+    // run as pool jobs — reused threads, no per-call spawning — and they
+    // inherit the ambient pool budget, so nested parallel work inside a
+    // subset splits by the configured thread count instead of falling
+    // back to all cores. Scheduling is two-level: this scope's worker
+    // tasks are external submissions (they enter the pool's shared
+    // injector once, then the `next` counter hands out subset ids
+    // dynamically, heaviest first), while any parallel work *inside* a
+    // subset forks adaptively on the executing worker — jobs land on its
+    // own deque and idle workers steal them, which is what rebalances the
+    // skewed per-subset workloads the coarse ordering can't predict.
     rayon::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {

@@ -169,6 +169,34 @@ pub fn scrub_timings(value: &mut serde_json::Value) {
     }
 }
 
+/// Canonicalizes the scheduler-telemetry section of a parsed report by
+/// replacing any `scheduler` key's value with `null`, recursively.
+/// Scheduler counters (steals, per-worker execution counts) depend on OS
+/// scheduling and are therefore nondeterministic run to run — like
+/// timings, they are diagnostics, not results. Golden-snapshot and
+/// cross-thread-count comparisons scrub them alongside [`scrub_timings`];
+/// the CI scheduler gate reads them from the *unscrubbed* document via
+/// `repro check-sched` instead.
+pub fn scrub_scheduler(value: &mut serde_json::Value) {
+    match value {
+        serde_json::Value::Array(items) => {
+            for item in items {
+                scrub_scheduler(item);
+            }
+        }
+        serde_json::Value::Object(map) => {
+            for (key, entry) in map.iter_mut() {
+                if key == "scheduler" {
+                    *entry = serde_json::Value::Null;
+                } else {
+                    scrub_scheduler(entry);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +252,21 @@ mod tests {
         let back: TipReport = serde_json::from_value(&value).unwrap();
         assert_eq!(back.metrics.time_total(), std::time::Duration::ZERO);
         assert_eq!(back.tip, report.tip);
+    }
+
+    #[test]
+    fn scrub_scheduler_nulls_only_scheduler_sections() {
+        let text = r#"{
+            "experiment": "smoke",
+            "scheduler": {"steals_succeeded": 7, "tasks_executed": 91},
+            "rows": [{"scheduler": {"x": 1}, "max_wing": 3}]
+        }"#;
+        let mut value = serde_json::from_str_value(text).unwrap();
+        scrub_scheduler(&mut value);
+        assert!(value["scheduler"].is_null());
+        let row = &value["rows"].as_array().unwrap()[0];
+        assert!(row["scheduler"].is_null());
+        assert_eq!(row["max_wing"].as_u64(), Some(3));
+        assert_eq!(value["experiment"].as_str(), Some("smoke"));
     }
 }

@@ -199,8 +199,9 @@ pub fn receipt_wing_decompose(
     order.sort_unstable_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
 
     let threads = rayon::current_num_threads().min(subsets.len().max(1));
-    // rayon::scope: workers run as persistent-pool jobs and inherit the
-    // ambient pool budget (see fd.rs).
+    // rayon::scope: workers run as pool jobs and inherit the ambient pool
+    // budget; subset refinement inside a worker forks adaptively onto the
+    // worker's own deque, where idle workers steal it (see fd.rs).
     rayon::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {

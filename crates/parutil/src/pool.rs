@@ -4,9 +4,10 @@
 //! wedge-aggregation array sized `|U|` plus a touched-vertex list. Allocating
 //! these per peeled vertex would dominate runtime; the paper gives each
 //! OpenMP thread a `θ(|W|)` private array. Rayon tasks are not pinned to
-//! threads, so instead we keep a pool of scratch buffers that tasks check out
-//! and return — the pool grows to at most the number of concurrently running
-//! tasks (≤ pool thread count).
+//! threads — under the work-stealing shim a task can even migrate its
+//! *siblings* to whichever worker steals them — so instead we keep a pool of
+//! scratch buffers that tasks check out and return; the pool grows to at
+//! most the number of concurrently running tasks (≤ pool thread count).
 
 use parking_lot::Mutex;
 

@@ -4,8 +4,12 @@
 //! global pool is fixed at startup, so the harness runs each configuration
 //! inside a locally built pool of the exact requested size. (Under the
 //! vendored shim a `ThreadPool` is a parallelism *budget* over one shared
-//! persistent worker set, so building pools per configuration is cheap and
-//! the OS threads are reused across configurations.)
+//! work-stealing worker set — per-worker deques, idle workers steal, see
+//! `vendor/rayon/src/pool.rs` — so building pools per configuration is
+//! cheap and the OS threads are reused across configurations. The budget
+//! caps how many jobs a terminal forks, which is what bounds its
+//! concurrency; `rayon::scheduler_stats()` exposes the steal counters the
+//! CI thread-scaling gate asserts on.)
 
 /// Runs `f` inside a freshly built rayon pool with exactly `threads` workers.
 /// All rayon parallel iterators invoked (transitively) from `f` execute on

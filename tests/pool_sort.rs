@@ -1,13 +1,31 @@
-//! Integration tests for the rayon shim's persistent worker pool and
+//! Integration tests for the rayon shim's work-stealing worker pool and
 //! parallel merge sort: `par_sort_unstable*` against `std` sorting over
 //! adversarial input shapes and budgets, budget capping under nested
-//! `install`, and the pool-reuse regression (parallel terminals must not
-//! spawn fresh threads per call).
+//! `install`, the pool-reuse regression (parallel terminals must not
+//! spawn fresh threads per call), the steal path (other workers must
+//! drain a seeded deque), and scheduler-stats accounting.
+//!
+//! Every test takes [`serial`]: the scheduler counters are process-global
+//! and monotone, so exact delta assertions (the stats proptest) are only
+//! meaningful when no other test is submitting jobs concurrently.
+//! Serializing the binary costs a little wall-clock but buys exactness.
 
 use parutil::with_pool;
 use proptest::prelude::*;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serializes the tests of this binary (a panicking test must not wedge
+/// the rest, hence the poison recovery).
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// SplitMix-style keys: uncorrelated with index order.
 fn key(i: u64) -> u64 {
@@ -27,6 +45,7 @@ fn shapes(n: u64) -> Vec<(&'static str, Vec<u64>)> {
 
 #[test]
 fn par_sort_matches_std_on_all_shapes_and_budgets() {
+    let _guard = serial();
     // 20_000 clears the ~4k sequential cutoff, so merges really run.
     for (shape, data) in shapes(20_000) {
         let mut expect = data.clone();
@@ -41,6 +60,7 @@ fn par_sort_matches_std_on_all_shapes_and_budgets() {
 
 #[test]
 fn par_sort_by_and_by_key_match_std() {
+    let _guard = serial();
     let data: Vec<u64> = (0..30_000).map(key).collect();
     for budget in [1usize, 3, 8] {
         let mut by = data.clone();
@@ -68,6 +88,7 @@ proptest! {
         budget in 1usize..9,
         dup_mod in 1u64..32,
     ) {
+        let _guard = serial();
         // Also exercise a duplicate-heavy projection of the same vector.
         for v in [xs.clone(), xs.iter().map(|x| x % dup_mod).collect::<Vec<_>>()] {
             let mut par = v.clone();
@@ -77,10 +98,112 @@ proptest! {
             prop_assert_eq!(par, expect);
         }
     }
+
+    /// Scheduler accounting closes the books: every submitted job is
+    /// executed exactly once, attributed to exactly one executor (a
+    /// worker's deque count or the helping caller), and the steal
+    /// counters stay ordered. Exact equality is only assertable because
+    /// [`serial`] keeps the rest of this binary off the pool.
+    #[test]
+    fn scheduler_task_counts_sum_to_submitted_jobs(
+        jobs in 1usize..48,
+        budget in 2usize..6,
+    ) {
+        let _guard = serial();
+        let before = rayon::scheduler_stats();
+        with_pool(budget, || {
+            rayon::scope(|s| {
+                for i in 0..jobs {
+                    s.spawn(move |_| {
+                        std::hint::black_box(key(i as u64));
+                    });
+                }
+            });
+        });
+        let after = rayon::scheduler_stats();
+        prop_assert_eq!(after.jobs_submitted - before.jobs_submitted, jobs as u64);
+        prop_assert_eq!(after.tasks_executed - before.tasks_executed, jobs as u64);
+        // Attribution is complete: per-worker counts plus helper
+        // executions account for every job (workers spawned mid-case
+        // start at zero, so summing `after` minus summing `before` is
+        // well-defined even when the registry grew).
+        let sum = |s: &rayon::SchedulerStats| {
+            s.helper_executed + s.per_worker_executed.iter().sum::<u64>()
+        };
+        prop_assert_eq!(sum(&after) - sum(&before), jobs as u64);
+        prop_assert!(after.steals_succeeded <= after.steals_attempted);
+        prop_assert!(after.tasks_executed <= after.jobs_submitted);
+    }
+}
+
+#[test]
+fn single_thread_budget_stays_off_the_queues() {
+    let _guard = serial();
+    let before = rayon::scheduler_stats();
+    let sorted = with_pool(1, || {
+        let mut v: Vec<u64> = (0..50_000).map(key).collect();
+        v.par_sort_unstable();
+        let s: u64 = (0..10_000u64).into_par_iter().sum();
+        let (a, b) = rayon::join(|| 1u64 + 1, || 2u64 + 2);
+        (v.windows(2).all(|w| w[0] <= w[1]), s, a + b)
+    });
+    assert_eq!(sorted, (true, 10_000 * 9_999 / 2, 6));
+    let after = rayon::scheduler_stats();
+    // Budget 1 is the single-thread fast path: terminals run inline on
+    // the caller, so nothing is submitted and nothing can be stolen —
+    // the invariant CI's t=1 matrix leg gates on via `repro check-sched`.
+    assert_eq!(after.jobs_submitted, before.jobs_submitted);
+    assert_eq!(after.steals_succeeded, before.steals_succeeded);
+}
+
+#[test]
+fn steal_path_drains_a_seeded_worker_deque() {
+    let _guard = serial();
+    let before = rayon::scheduler_stats();
+    with_pool(4, || {
+        rayon::scope(|s| {
+            // One seeder task. While the submitting (main) thread is
+            // still parked in this closure's sleep, a pool worker picks
+            // the seeder off the injector; the seeder then spawns a long
+            // run of jobs, which land on *that worker's own deque*, and
+            // keeps the owner busy — so the only way the queue drains
+            // fast is other workers stealing from its front.
+            s.spawn(|inner| {
+                for _ in 0..32 {
+                    inner.spawn(|_| std::thread::sleep(Duration::from_millis(2)));
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            });
+            std::thread::sleep(Duration::from_millis(20));
+        });
+    });
+    let after = rayon::scheduler_stats();
+    assert!(
+        after.steals_succeeded > before.steals_succeeded,
+        "a seeded deque must be drained by thieves (steals {} -> {})",
+        before.steals_succeeded,
+        after.steals_succeeded
+    );
+    // More than one worker executed tasks: the seeder's owner plus at
+    // least one thief (the helping main thread is counted separately).
+    let busy = after
+        .per_worker_executed
+        .iter()
+        .enumerate()
+        .filter(|&(i, &count)| count > before.per_worker_executed.get(i).copied().unwrap_or(0))
+        .count();
+    assert!(
+        busy >= 2,
+        "expected >1 worker to execute tasks, got {busy} \
+         (per-worker before {:?}, after {:?})",
+        before.per_worker_executed,
+        after.per_worker_executed
+    );
 }
 
 #[test]
 fn nested_install_budgets_cap_concurrency() {
+    let _guard = serial();
     // Inside an inner budget-2 install, a terminal may split into at most
     // 2 parts regardless of the outer budget-8 pool; observed concurrency
     // of the per-part jobs is therefore <= 2.
@@ -107,12 +230,13 @@ fn nested_install_budgets_cap_concurrency() {
 
 #[test]
 fn consecutive_parallel_terminals_reuse_pool_workers() {
-    // Warm the pool at the largest budget this binary uses, so concurrent
-    // tests cannot legitimately grow it while we measure.
+    let _guard = serial();
+    // Warm the pool at the largest budget this binary uses, so later
+    // rounds cannot legitimately grow it while we measure.
     with_pool(rayon::current_num_threads().max(8), || {
         (0..1024u64).into_par_iter().sum::<u64>()
     });
-    let spawned = rayon::pool::total_workers_spawned();
+    let spawned = rayon::total_workers_spawned();
     assert!(spawned >= 1, "warm-up must have populated the pool");
     for round in 0..100u64 {
         // A mix of terminals: par-iter reduce, scope, and a parallel sort.
@@ -130,7 +254,7 @@ fn consecutive_parallel_terminals_reuse_pool_workers() {
         assert!(v.windows(2).all(|w| w[0] <= w[1]));
     }
     assert_eq!(
-        rayon::pool::total_workers_spawned(),
+        rayon::total_workers_spawned(),
         spawned,
         "parallel terminals must reuse pooled workers instead of spawning per call"
     );
@@ -138,6 +262,7 @@ fn consecutive_parallel_terminals_reuse_pool_workers() {
 
 #[test]
 fn join_composes_with_terminals() {
+    let _guard = serial();
     let (evens, odds) = with_pool(4, || {
         rayon::join(
             || {

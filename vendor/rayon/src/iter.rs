@@ -1,11 +1,14 @@
 //! Parallel iterator subset.
 //!
 //! Every pipeline is a tree of adapter structs; a terminal method asks the
-//! tree for up to `current_num_threads()` independent [`Part`]s (an ordered
+//! tree for up to [`crate::split_hint`] independent [`Part`]s (an ordered
 //! sequential iterator plus its global start offset) and drives them as
-//! persistent-pool jobs via [`crate::run_parts`]. Sources split by index
-//! arithmetic, so no items are materialized before the per-item work runs —
-//! except `zip`, which aligns its two sides eagerly.
+//! persistent-pool jobs via [`crate::run_parts`]. The hint splits
+//! adaptively — the full ambient budget when thieves could take the parts,
+//! sequential when every pool thread is already busy — instead of a fixed
+//! chunk count. Sources split by index arithmetic, so no items are
+//! materialized before the per-item work runs — except `zip`, which aligns
+//! its two sides eagerly.
 
 use crate::{run_parts, share, split_spans};
 
@@ -81,7 +84,7 @@ pub trait ParallelIterator: Sized + Send {
     where
         OP: Fn(Self::Item) + Send + Sync,
     {
-        let parts = self.parts(crate::current_num_threads());
+        let parts = self.parts(crate::split_hint());
         run_parts(parts, |it| it.for_each(&op));
     }
 
@@ -90,7 +93,7 @@ pub trait ParallelIterator: Sized + Send {
         ID: Fn() -> Self::Item + Send + Sync,
         OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        let parts = self.parts(crate::current_num_threads());
+        let parts = self.parts(crate::split_hint());
         let partials = run_parts(parts, |it| it.fold(identity(), &op));
         partials.into_iter().fold(identity(), &op)
     }
@@ -99,7 +102,7 @@ pub trait ParallelIterator: Sized + Send {
     where
         S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
     {
-        let parts = self.parts(crate::current_num_threads());
+        let parts = self.parts(crate::split_hint());
         run_parts(parts, |it| it.sum::<S>()).into_iter().sum()
     }
 
@@ -107,13 +110,13 @@ pub trait ParallelIterator: Sized + Send {
     where
         Self::Item: Ord,
     {
-        let parts = self.parts(crate::current_num_threads());
+        let parts = self.parts(crate::split_hint());
         let partials = run_parts(parts, Iterator::max);
         partials.into_iter().flatten().max()
     }
 
     fn count(self) -> usize {
-        let parts = self.parts(crate::current_num_threads());
+        let parts = self.parts(crate::split_hint());
         run_parts(parts, Iterator::count).into_iter().sum()
     }
 
@@ -121,7 +124,7 @@ pub trait ParallelIterator: Sized + Send {
     where
         C: FromIterator<Self::Item>,
     {
-        let parts = self.parts(crate::current_num_threads());
+        let parts = self.parts(crate::split_hint());
         run_parts(parts, |it| it.collect::<Vec<_>>())
             .into_iter()
             .flatten()

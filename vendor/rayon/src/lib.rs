@@ -19,11 +19,19 @@
 //! * `scope`/`Scope::spawn`, whose tasks are pool jobs as well — `scope`
 //!   blocks (while helping drain the queue) until every spawn finished.
 //!
-//! Semantic differences from real rayon, acceptable for this workspace:
-//! there is no work *stealing* — idle threads pull whole jobs from a
-//! shared injector queue, and chunk-based splitting fixes job granularity
-//! at the terminal — and `enumerate` indices are only meaningful when no
-//! `filter` precedes them (same as rayon, where `filter` drops
+//! Like real rayon, the pool **work-steals**: every worker owns a deque
+//! (LIFO for itself, FIFO for thieves picked by seeded rotation) and the
+//! shared injector only receives external submissions, so skewed workloads
+//! rebalance dynamically instead of contending on one queue (see [`pool`]).
+//! Parallel terminals and the sort's merges split **adaptively**: while
+//! idle thieves exist a construct forks, otherwise it runs sequentially
+//! ([`split_hint`] / `pool::split_wanted`), replacing fixed chunk counts.
+//! [`scheduler_stats`] snapshots the scheduler's counters (tasks executed
+//! per worker, steals, injector traffic) for tests and the CI bench gate.
+//!
+//! Remaining semantic difference from real rayon, acceptable for this
+//! workspace: `enumerate` indices are only meaningful when no `filter`
+//! precedes them (same as rayon, where `filter` drops
 //! `IndexedParallelIterator`).
 
 use std::cell::Cell;
@@ -35,7 +43,7 @@ pub mod iter;
 pub mod pool;
 pub(crate) mod sort;
 
-pub use pool::join;
+pub use pool::{join, scheduler_stats, total_workers_spawned, SchedulerStats};
 
 pub mod prelude {
     pub use crate::iter::{
@@ -202,6 +210,24 @@ where
             r
         }
         Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// Adaptive split width for a parallel terminal: how many parts to cut
+/// the input into right now. Budget 1 never splits (the single-thread
+/// fast path). Otherwise external callers always split to the full
+/// ambient budget — their parts feed the injector, which the workers and
+/// the caller itself drain — while a terminal running *on* a worker
+/// splits only when some thief is idle to take the parts; when every
+/// thread is busy, the split would only queue boxing/latch overhead that
+/// the worker ends up draining itself, so the terminal runs sequentially.
+/// This replaces the previous fixed parts-per-terminal chunking.
+pub(crate) fn split_hint() -> usize {
+    let budget = current_num_threads();
+    if budget <= 1 || !pool::split_wanted() {
+        1
+    } else {
+        budget
     }
 }
 

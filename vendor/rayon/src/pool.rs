@@ -1,24 +1,39 @@
-//! Persistent worker pool behind every parallel terminal.
+//! Work-stealing scheduler behind every parallel terminal.
 //!
-//! A lazily-initialized, process-global set of OS workers pulls erased
-//! closures from a shared injector queue. Parallel terminals, `scope`
-//! spawns, and the sort's `join` all submit batches here instead of
-//! spawning scoped threads per call, so threads are reused across
-//! terminals (see [`total_workers_spawned`], which the regression tests
-//! pin down).
+//! A lazily-initialized, process-global set of OS workers executes erased
+//! closures. Scheduling follows the classic Chase–Lev shape, adapted to a
+//! shim (the deques are mutex-protected, not lock-free, which is plenty
+//! under ≤ [`MAX_WORKERS`] threads):
+//!
+//! * every worker owns a **deque**: it pushes and pops its own jobs at the
+//!   back (LIFO, so nested fork-join stays depth-first and stack-bounded)
+//!   while thieves take from the front (FIFO, so they grab the oldest —
+//!   root-most, largest — subtree);
+//! * a worker out of local work **steals** from victims chosen by seeded
+//!   rotation (a SplitMix-seeded start index per thief, then a cyclic
+//!   scan), and only then falls back to the shared **injector**;
+//! * the injector receives only **external submissions** — batches started
+//!   from threads outside the pool (the process main thread, tests) — so
+//!   the one shared queue is no longer on the hot path of nested
+//!   parallelism, which is where the CD/FD phases' skewed per-vertex
+//!   workloads generate most of their jobs.
 //!
 //! Two invariants make borrowed (non-`'static`) jobs and nested
-//! parallelism sound:
+//! parallelism sound, unchanged from the single-queue design:
 //!
 //! 1. **Blocking bounds borrows.** [`run_batch`] and `scope` do not
 //!    return — not even by unwinding — until their latch reports every
 //!    submitted job finished, so lifetime-erased closures never outlive
 //!    the data they borrow.
 //! 2. **Every waiter is a worker.** While a latch is open, the waiting
-//!    thread runs queued jobs itself ([`help_until_done`]). A fixed-size
-//!    pool whose blocked callers also drain the queue cannot deadlock on
-//!    nested batches; parking uses a short timeout as a lost-wakeup
-//!    safety net on top of the condvar protocol.
+//!    thread runs jobs itself ([`help_until_done`]): its own deque first
+//!    (its children), then steals, then the injector. A fixed-size pool
+//!    whose blocked callers also drain queues cannot deadlock on nested
+//!    batches; parking uses a short timeout as a lost-wakeup safety net on
+//!    top of the condvar protocol. Parked waiters count as *idle thieves*
+//!    for the adaptive-split heuristic ([`split_wanted`]) — they poll for
+//!    work every 200µs, so a split made on their behalf is picked up
+//!    almost immediately.
 //!
 //! The pool grows monotonically: a batch submitted under parallelism
 //! budget `b` ensures `b − 1` workers exist (its caller is the `b`-th),
@@ -26,12 +41,19 @@
 //! the number of jobs the budget allowed the terminal to create, so
 //! nested `ThreadPool::install` budgets keep their meaning even though
 //! all pools share one worker set.
+//!
+//! Every scheduling decision is counted: [`scheduler_stats`] returns a
+//! [`SchedulerStats`] snapshot (jobs submitted, tasks executed per worker
+//! and by helping callers, steal attempts/successes, injector traffic)
+//! that the `repro` harness surfaces as a machine-checkable
+//! `SchedulerReport` and CI gates on.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// Hard ceiling on pool workers; budgets beyond it still work, with the
@@ -40,20 +62,69 @@ const MAX_WORKERS: usize = 64;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One worker's scheduling state. Owners operate on the back of `deque`,
+/// thieves on the front.
+struct Worker {
+    deque: Mutex<VecDeque<Job>>,
+    /// Jobs this worker finished executing (wherever they were queued).
+    executed: AtomicU64,
+}
+
 struct PoolState {
-    queue: Mutex<VecDeque<Job>>,
-    /// Signaled when a job is pushed or a latch completes.
+    /// External submissions only; workers and helpers drain it after their
+    /// deques run dry.
+    injector: Mutex<VecDeque<Job>>,
+    /// Worker registry, indexed by worker id. Grows monotonically under
+    /// the write lock; steal scans take the read lock.
+    workers: RwLock<Vec<Arc<Worker>>>,
+    /// Pairs with `signal`: idle workers re-check `pending` under this
+    /// lock before parking, and submitters notify under it, so a wakeup
+    /// cannot slip between the check and the wait.
+    idle_lock: Mutex<()>,
     signal: Condvar,
-    /// Total OS workers ever spawned (monotonic).
+    /// Jobs queued (injector or any deque) but not yet checked out.
+    pending: AtomicUsize,
+    /// Threads currently parked and hungry for work: idle workers plus
+    /// callers parked in [`help_until_done`]. The adaptive-split gate
+    /// reads this — a split only pays when somebody could steal it.
+    idle_threads: AtomicUsize,
+    /// Total OS workers ever spawned (monotonic, mirrors registry len).
     spawned: AtomicUsize,
+    // ---- scheduler telemetry (all monotonic, relaxed) ----
+    jobs_submitted: AtomicU64,
+    helper_executed: AtomicU64,
+    injector_pushes: AtomicU64,
+    injector_pops: AtomicU64,
+    steals_attempted: AtomicU64,
+    steals_succeeded: AtomicU64,
+    /// Seeds helper threads' victim rotation (workers seed from their id).
+    helper_seed: AtomicU64,
+}
+
+thread_local! {
+    /// Worker id of the current thread; `usize::MAX` off-pool.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// SplitMix state for this thread's steal-victim rotation.
+    static STEAL_SEED: Cell<u64> = const { Cell::new(0) };
 }
 
 fn pool() -> &'static PoolState {
     static POOL: OnceLock<PoolState> = OnceLock::new();
     POOL.get_or_init(|| PoolState {
-        queue: Mutex::new(VecDeque::new()),
+        injector: Mutex::new(VecDeque::new()),
+        workers: RwLock::new(Vec::new()),
+        idle_lock: Mutex::new(()),
         signal: Condvar::new(),
+        pending: AtomicUsize::new(0),
+        idle_threads: AtomicUsize::new(0),
         spawned: AtomicUsize::new(0),
+        jobs_submitted: AtomicU64::new(0),
+        helper_executed: AtomicU64::new(0),
+        injector_pushes: AtomicU64::new(0),
+        injector_pops: AtomicU64::new(0),
+        steals_attempted: AtomicU64::new(0),
+        steals_succeeded: AtomicU64::new(0),
+        helper_seed: AtomicU64::new(0),
     })
 }
 
@@ -64,46 +135,266 @@ pub fn total_workers_spawned() -> usize {
     pool().spawned.load(Ordering::Relaxed)
 }
 
+/// Point-in-time snapshot of the scheduler's counters.
+///
+/// All counters are cumulative over the process lifetime and monotonic.
+/// At any quiescent point (no batch in flight) `tasks_executed ==
+/// jobs_submitted`, and `tasks_executed` always equals `helper_executed +
+/// Σ per_worker_executed` — the snapshot computes it that way, so the
+/// attribution is complete by construction and the root test suite pins
+/// the submitted/executed equality down with a proptest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// OS workers ever spawned (same as [`total_workers_spawned`]).
+    pub workers_spawned: usize,
+    /// Jobs handed to the scheduler (injector or a worker deque). Inline
+    /// fast paths — single-job batches and whole batches at budget 1 —
+    /// never enter a queue and are not counted.
+    pub jobs_submitted: u64,
+    /// Jobs finished executing: `helper_executed + Σ per_worker_executed`.
+    pub tasks_executed: u64,
+    /// Jobs executed by non-worker threads helping while they wait.
+    pub helper_executed: u64,
+    /// Jobs executed by each worker, indexed by worker id.
+    pub per_worker_executed: Vec<u64>,
+    /// External submissions pushed to the shared injector.
+    pub injector_pushes: u64,
+    /// Jobs checked out of the injector (by workers or helpers).
+    pub injector_pops: u64,
+    /// Victim deques probed during steal scans.
+    pub steals_attempted: u64,
+    /// Jobs actually taken from another worker's deque.
+    pub steals_succeeded: u64,
+}
+
+/// Snapshots the scheduler's telemetry counters. Cheap (a handful of
+/// relaxed loads plus one registry read lock); safe to call at any time.
+pub fn scheduler_stats() -> SchedulerStats {
+    let p = pool();
+    // One registry read: taking `spawned` outside the lock could tear the
+    // snapshot against `per_worker_executed` while the pool grows.
+    let per_worker_executed: Vec<u64> = {
+        let registry = p.workers.read().expect("worker registry poisoned");
+        registry
+            .iter()
+            .map(|w| w.executed.load(Ordering::Relaxed))
+            .collect()
+    };
+    let helper_executed = p.helper_executed.load(Ordering::Relaxed);
+    SchedulerStats {
+        workers_spawned: per_worker_executed.len(),
+        jobs_submitted: p.jobs_submitted.load(Ordering::Relaxed),
+        tasks_executed: helper_executed + per_worker_executed.iter().sum::<u64>(),
+        helper_executed,
+        per_worker_executed,
+        injector_pushes: p.injector_pushes.load(Ordering::Relaxed),
+        injector_pops: p.injector_pops.load(Ordering::Relaxed),
+        steals_attempted: p.steals_attempted.load(Ordering::Relaxed),
+        steals_succeeded: p.steals_succeeded.load(Ordering::Relaxed),
+    }
+}
+
+/// Worker id of the current thread, if it is a pool worker.
+fn current_worker() -> Option<usize> {
+    let i = WORKER_INDEX.with(Cell::get);
+    (i != usize::MAX).then_some(i)
+}
+
+/// True on pool worker threads (used by the adaptive-split heuristic:
+/// external callers always split, workers split only while thieves idle).
+pub(crate) fn on_worker_thread() -> bool {
+    current_worker().is_some()
+}
+
+/// True while at least one thread is parked hungry for work — an idle
+/// worker or a caller polling inside [`help_until_done`]. A split made
+/// now has a thief ready to take it.
+pub(crate) fn has_idle_threads() -> bool {
+    pool().idle_threads.load(Ordering::Relaxed) > 0
+}
+
+/// The adaptive-split gate: should a parallel construct fork here instead
+/// of running sequentially? Off-pool callers always fork (their jobs feed
+/// the injector, which workers and the caller itself drain); workers fork
+/// only while some thief is idle — when every thread is busy, a fork
+/// would only queue boxing/latch overhead that the owner ends up running
+/// itself.
+pub(crate) fn split_wanted() -> bool {
+    !on_worker_thread() || has_idle_threads()
+}
+
+/// SplitMix64 step: advances the state and returns a well-mixed value.
+fn splitmix_next(state: &Cell<u64>) -> u64 {
+    let s = state.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    state.set(s);
+    let mut z = s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// This thread's steal rotation value. Workers are seeded from their id
+/// (set in [`worker_loop`]); helper threads lazily seed from a global
+/// counter so concurrent helpers start their scans at different victims.
+fn steal_rotation() -> u64 {
+    STEAL_SEED.with(|seed| {
+        if seed.get() == 0 {
+            let ordinal = pool().helper_seed.fetch_add(1, Ordering::Relaxed);
+            seed.set((MAX_WORKERS as u64 + 1 + ordinal) << 1);
+        }
+        splitmix_next(seed)
+    })
+}
+
 /// Grows the worker set to at least `target` threads (capped).
 fn ensure_workers(target: usize) {
     let p = pool();
     let target = target.min(MAX_WORKERS);
+    if p.spawned.load(Ordering::Relaxed) >= target {
+        return;
+    }
+    let mut registry = p.workers.write().expect("worker registry poisoned");
+    while registry.len() < target {
+        let index = registry.len();
+        let worker = Arc::new(Worker {
+            deque: Mutex::new(VecDeque::new()),
+            executed: AtomicU64::new(0),
+        });
+        registry.push(Arc::clone(&worker));
+        std::thread::Builder::new()
+            // Named so panics and debugger output identify the pool.
+            .name(format!("receipt-worker-{index}"))
+            // Nested fork-join executes depth-first on worker stacks;
+            // match the main thread's default so debug builds with fat
+            // frames don't overflow.
+            .stack_size(8 << 20)
+            .spawn(move || worker_loop(index))
+            .expect("failed to spawn pool worker");
+        p.spawned.store(registry.len(), Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(index: usize) {
+    WORKER_INDEX.with(|c| c.set(index));
+    // Seeded rotation: each worker starts its victim scans from a
+    // different, deterministic sequence of indices.
+    STEAL_SEED.with(|c| c.set((index as u64 + 1) << 1));
+    let p = pool();
     loop {
-        let cur = p.spawned.load(Ordering::Relaxed);
-        if cur >= target {
-            return;
-        }
-        if p.spawned
-            .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
-            .is_ok()
-        {
-            std::thread::Builder::new()
-                .name(format!("rayon-shim-worker-{cur}"))
-                // Nested fork-join executes depth-first on worker stacks;
-                // match the main thread's default so debug builds with fat
-                // frames don't overflow.
-                .stack_size(8 << 20)
-                .spawn(worker_loop)
-                .expect("failed to spawn pool worker");
+        // Jobs are wrapped (catch_unwind + latch) before queueing, so
+        // they cannot unwind through the worker loop.
+        match find_job(p, /* lifo_injector = */ false) {
+            Some(job) => job(),
+            None => park_idle(p),
         }
     }
 }
 
-fn worker_loop() {
-    let p = pool();
-    loop {
-        let job = {
-            let mut q = p.queue.lock().expect("pool queue poisoned");
-            loop {
-                if let Some(job) = q.pop_front() {
-                    break job;
-                }
-                q = p.signal.wait(q).expect("pool queue poisoned");
-            }
-        };
-        // Jobs are wrapped (catch_unwind + latch) before queueing, so
-        // they cannot unwind through the worker loop.
-        job();
+/// Parks an out-of-work worker until a submission arrives. The
+/// `pending`-under-lock check makes the condvar protocol lost-wakeup-free
+/// (submitters bump `pending` with `SeqCst` before reading `idle_threads`,
+/// and notify under the same lock this check holds, so either the worker
+/// sees the new `pending` or the submitter sees the parked worker). The
+/// timeout is a defense-in-depth backstop only, and deliberately long: a
+/// short poll would have every idle worker burning steal scans (registry
+/// and deque locks, inflated `steals_attempted`) for the whole process
+/// lifetime — background noise this benchmarking harness cannot afford
+/// during its timed sequential phases.
+fn park_idle(p: &PoolState) {
+    p.idle_threads.fetch_add(1, Ordering::SeqCst);
+    {
+        let guard = p.idle_lock.lock().expect("pool idle lock poisoned");
+        if p.pending.load(Ordering::SeqCst) == 0 {
+            let _ = p
+                .signal
+                .wait_timeout(guard, Duration::from_secs(1))
+                .expect("pool idle lock poisoned");
+        }
+    }
+    p.idle_threads.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Checks a job out of the scheduler, in work-stealing order: own deque
+/// from the back (LIFO — depth-first on own children), then steal from
+/// victims' fronts (FIFO — oldest, largest subtrees), then the injector.
+/// `lifo_injector` pops the injector from the back instead of the front:
+/// helpers on external threads want their own most recent submissions
+/// (their batch's children) first, workers want global FIFO fairness.
+fn find_job(p: &PoolState, lifo_injector: bool) -> Option<Job> {
+    if let Some(index) = current_worker() {
+        let registry = p.workers.read().expect("worker registry poisoned");
+        let own = registry[index]
+            .deque
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_back();
+        drop(registry);
+        if let Some(job) = own {
+            p.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+    }
+    if let Some(job) = try_steal(p) {
+        return Some(job);
+    }
+    let from_injector = {
+        let mut injector = p.injector.lock().expect("pool injector poisoned");
+        if lifo_injector {
+            injector.pop_back()
+        } else {
+            injector.pop_front()
+        }
+    };
+    if let Some(job) = from_injector {
+        p.pending.fetch_sub(1, Ordering::SeqCst);
+        p.injector_pops.fetch_add(1, Ordering::Relaxed);
+        return Some(job);
+    }
+    None
+}
+
+/// One steal scan: a seeded-rotation starting victim, then a full cyclic
+/// pass over the registry, popping the first non-empty deque's front.
+fn try_steal(p: &PoolState) -> Option<Job> {
+    let registry = p.workers.read().expect("worker registry poisoned");
+    let n = registry.len();
+    if n == 0 {
+        return None;
+    }
+    let me = current_worker();
+    let start = (steal_rotation() % n as u64) as usize;
+    for offset in 0..n {
+        let victim = (start + offset) % n;
+        if Some(victim) == me {
+            continue;
+        }
+        p.steals_attempted.fetch_add(1, Ordering::Relaxed);
+        let job = registry[victim]
+            .deque
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_front();
+        if let Some(job) = job {
+            p.pending.fetch_sub(1, Ordering::SeqCst);
+            p.steals_succeeded.fetch_add(1, Ordering::Relaxed);
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Attributes one finished job to its executor (called by the wrapper in
+/// [`submit`] right before the latch completes, so latch waiters observe
+/// settled counters).
+fn note_executed(p: &PoolState) {
+    match current_worker() {
+        Some(index) => {
+            let registry = p.workers.read().expect("worker registry poisoned");
+            registry[index].executed.fetch_add(1, Ordering::Relaxed);
+        }
+        None => {
+            p.helper_executed.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -159,33 +450,38 @@ impl Latch {
 
 /// Runs queued jobs while waiting for `latch` to complete. This is the
 /// "every waiter is a worker" rule: a thread blocked on a batch drains
-/// the queue (its own sub-jobs or anyone else's) instead of idling.
+/// work (its own sub-jobs or anyone else's) instead of idling.
 ///
-/// Helpers pop from the **back** of the queue (LIFO) while idle workers
-/// pop from the front: the most recently pushed jobs are the waiting
-/// batch's own children, so a nested fork-join executes depth-first on
-/// the helper's stack — stack growth tracks the algorithm's recursion
-/// depth, not the queue length. (FIFO helping would pull sibling-subtree
-/// roots onto an already-deep stack and overflow on nested `join`s.)
+/// Workers help from their own deque's back first (their most recently
+/// pushed jobs are the waiting batch's own children, so nested fork-join
+/// executes depth-first on the helper's stack — stack growth tracks the
+/// algorithm's recursion depth, not the queue length), then steal, then
+/// take the injector. External helpers pop the injector from the back for
+/// the same depth-first reason — their nested submissions live there.
 pub(crate) fn help_until_done(latch: &Latch) {
     let p = pool();
+    let lifo_injector = !on_worker_thread();
     while !latch.done() {
-        let job = p.queue.lock().expect("pool queue poisoned").pop_back();
-        match job {
+        match find_job(p, lifo_injector) {
             Some(job) => job(),
             None => {
                 // Park on the latch's own condvar: completion wakes us
                 // directly; jobs pushed meanwhile are consumed by the
                 // workers (woken per push), with the timeout as the
-                // helper's polling backstop for both.
-                let guard = latch.done_lock.lock().expect("latch done lock poisoned");
-                if latch.done() {
-                    return;
+                // helper's polling backstop for both. While parked we
+                // count as an idle thief — the 200µs poll keeps splits
+                // made on our behalf from going stale.
+                p.idle_threads.fetch_add(1, Ordering::SeqCst);
+                {
+                    let guard = latch.done_lock.lock().expect("latch done lock poisoned");
+                    if !latch.done() {
+                        let _ = latch
+                            .done_signal
+                            .wait_timeout(guard, Duration::from_micros(200))
+                            .expect("latch done lock poisoned");
+                    }
                 }
-                let _ = latch
-                    .done_signal
-                    .wait_timeout(guard, Duration::from_micros(200))
-                    .expect("latch done lock poisoned");
+                p.idle_threads.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
@@ -204,7 +500,8 @@ unsafe fn erase_lifetime<'a>(
 }
 
 /// Wraps a borrowed job with the submitter's budget, panic capture, and
-/// latch completion, then queues it.
+/// latch completion, then queues it: on the submitting worker's own deque
+/// (back), or on the shared injector for external submitters.
 ///
 /// # Safety
 /// See [`erase_lifetime`]: the caller must block on `latch` before its
@@ -223,32 +520,64 @@ pub(crate) unsafe fn submit<'a>(
         if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(job)) {
             latch.record_panic(payload);
         }
+        note_executed(pool());
         latch.complete_one();
     });
     ensure_workers(budget.saturating_sub(1));
     let p = pool();
-    let mut q = p.queue.lock().expect("pool queue poisoned");
-    q.push_back(wrapped);
-    drop(q);
+    p.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    p.pending.fetch_add(1, Ordering::SeqCst);
+    match current_worker() {
+        Some(index) => {
+            let registry = p.workers.read().expect("worker registry poisoned");
+            registry[index]
+                .deque
+                .lock()
+                .expect("worker deque poisoned")
+                .push_back(wrapped);
+        }
+        None => {
+            p.injector_pushes.fetch_add(1, Ordering::Relaxed);
+            p.injector
+                .lock()
+                .expect("pool injector poisoned")
+                .push_back(wrapped);
+        }
+    }
     // One job needs one runner: notify_one avoids waking every parked
-    // worker per push (thundering herd on the queue mutex). If the wakeup
-    // lands on a helper that returns without consuming, the job still
-    // cannot be stranded — the submitting batch's owner polls the queue
-    // on a timeout in help_until_done until its latch completes.
-    p.signal.notify_one();
+    // worker per push (thundering herd). Notifying under `idle_lock`
+    // orders the wakeup after any worker's pending-check, so it cannot be
+    // lost; when nobody is parked the notify (and its lock) is skipped —
+    // busy workers find the job on their next scan, and the submitting
+    // batch's owner polls on a timeout in `help_until_done` regardless.
+    if p.idle_threads.load(Ordering::SeqCst) > 0 {
+        let _guard = p.idle_lock.lock().expect("pool idle lock poisoned");
+        p.signal.notify_one();
+    }
 }
 
 /// Executes every job on the pool, the caller included, and returns once
 /// all have finished. The first panic among the jobs is re-raised here
 /// (after the whole batch completed, so borrows stay sound).
+///
+/// At budget 1 (or with ≤ 1 job) the batch runs inline on the caller with
+/// zero queue traffic — the single-thread fast path CI's `t=1` matrix leg
+/// pins down by asserting zero steals — while keeping batch semantics:
+/// every job runs even if an earlier one panicked.
 pub(crate) fn run_batch<'a>(jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
-    if jobs.len() <= 1 {
+    let budget = crate::current_num_threads();
+    if jobs.len() <= 1 || budget <= 1 {
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
         for job in jobs {
-            job();
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(job)) {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            panic::resume_unwind(payload);
         }
         return;
     }
-    let budget = crate::current_num_threads();
     let latch = Latch::new();
     let mut jobs = jobs.into_iter();
     let first = jobs.next().expect("len checked above");
@@ -257,8 +586,8 @@ pub(crate) fn run_batch<'a>(jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
         // every job complete, bounding the erased lifetimes.
         unsafe { submit(&latch, budget, job) };
     }
-    // The caller runs the first job itself — halving traffic on the shared
-    // queue for the ubiquitous 2-job `join` — then helps with the rest.
+    // The caller runs the first job itself — halving queue traffic for
+    // the ubiquitous 2-job `join` — then helps with the rest.
     // (No budget guard needed: `budget` is the caller's ambient value.)
     if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(first)) {
         latch.record_panic(payload);
@@ -371,6 +700,74 @@ mod tests {
             total_workers_spawned(),
             spawned,
             "batches must reuse pooled workers, not spawn fresh threads"
+        );
+    }
+
+    #[test]
+    fn scheduler_stats_are_consistent() {
+        // Other tests in this binary run concurrently, so only monotone /
+        // invariant properties are asserted here; the root test suite
+        // (tests/pool_sort.rs) serializes its tests and pins exact counts.
+        let before = scheduler_stats();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let n = 16u64;
+        pool.install(|| {
+            crate::scope(|s| {
+                for _ in 0..n {
+                    s.spawn(|_| {
+                        std::hint::black_box(0u64);
+                    });
+                }
+            })
+        });
+        let after = scheduler_stats();
+        assert!(after.jobs_submitted >= before.jobs_submitted + n);
+        assert!(after.tasks_executed >= before.tasks_executed + n);
+        // Executed jobs were submitted first; sampling anywhere observes
+        // executed <= submitted.
+        assert!(after.tasks_executed <= after.jobs_submitted);
+        assert!(after.steals_succeeded <= after.steals_attempted);
+        assert_eq!(after.per_worker_executed.len(), after.workers_spawned);
+        assert_eq!(
+            after.tasks_executed,
+            after.helper_executed + after.per_worker_executed.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn worker_threads_are_named() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let names = Mutex::new(Vec::<String>::new());
+        // Retry a few rounds: tiny jobs can all be drained by the helping
+        // caller before a worker wakes, so keep submitting until a worker
+        // demonstrably ran one.
+        for _ in 0..50 {
+            pool.install(|| {
+                crate::scope(|s| {
+                    for _ in 0..8 {
+                        s.spawn(|_| {
+                            std::thread::sleep(Duration::from_millis(1));
+                            if let Some(name) = std::thread::current().name() {
+                                names.lock().unwrap().push(name.to_string());
+                            }
+                        });
+                    }
+                })
+            });
+            let names = names.lock().unwrap();
+            if names.iter().any(|n| n.starts_with("receipt-worker-")) {
+                return;
+            }
+        }
+        panic!(
+            "no job ever ran on a receipt-worker-named thread; saw {:?}",
+            names.lock().unwrap()
         );
     }
 }

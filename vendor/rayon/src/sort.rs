@@ -1,13 +1,19 @@
 //! Parallel merge sort behind `par_sort_unstable*`.
 //!
-//! The slice is split into `2^⌈log₂ budget⌉` leaf runs, each sorted
-//! in-place with `sort_unstable_by`, then merged pairwise up the
+//! The slice is split into at most `2^⌈log₂ budget⌉` leaf runs, each
+//! sorted in-place with `sort_unstable_by`, then merged pairwise up the
 //! recursion tree. Each merge writes bitwise copies into a scratch
 //! buffer and is itself parallel: the longer run is split at its
 //! midpoint, the split key is binary-searched in the shorter run, and
 //! the two halves merge concurrently — falling back to a sequential
 //! two-finger merge below [`SEQ_CUTOFF`] elements. All forking goes
 //! through [`pool::join`], so the work runs on the persistent pool.
+//!
+//! Splitting is **adaptive**, not fixed: every recursion node re-asks
+//! [`pool::split_wanted`] before forking — fork while a thief is idle to
+//! take the other half, run sequentially otherwise. The budget-derived
+//! level count only caps the depth (bounding the job fan-out), it no
+//! longer forces splits nobody would steal.
 //!
 //! # Panic safety
 //!
@@ -78,7 +84,7 @@ where
     T: Send,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
-    if levels == 0 || v.len() <= SEQ_CUTOFF {
+    if levels == 0 || v.len() <= SEQ_CUTOFF || !pool::split_wanted() {
         v.sort_unstable_by(compare);
         return;
     }
@@ -130,7 +136,7 @@ unsafe fn par_merge<T, F>(
     T: Send,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
-    if levels == 0 || a_len + b_len <= SEQ_CUTOFF {
+    if levels == 0 || a_len + b_len <= SEQ_CUTOFF || !pool::split_wanted() {
         seq_merge(a, a_len, b, b_len, dst, compare);
         return;
     }
