@@ -14,6 +14,8 @@
 //!   fig10    thread scaling, peeling U
 //!   fig11    thread scaling, peeling V
 //!   wing     §7 extension: parallel vs sequential wing decomposition
+//!   dynamic  batch-dynamic maintenance: per-batch incremental update cost
+//!            vs from-scratch recount + re-peel, oracle-checked
 //!   projection  §1 motivation: unipartite-projection blowup
 //!   smoke    small deterministic oracle-checked runs (CI / golden snapshot)
 //!   all      everything above except smoke, in order
@@ -32,8 +34,8 @@
 //!
 //! `--json` emits a versioned [`receipt_bench::report::ReproReport`]
 //! document instead of text (supported for `table2`, `table3`, `wing`,
-//! `smoke` — the figure experiments are timing curves with no structured
-//! content beyond what table3 already covers). Every JSON document carries
+//! `dynamic`, `smoke` — the figure experiments are timing curves with no
+//! structured content beyond what table3 already covers). Every JSON document carries
 //! a `scheduler` section (work-stealing counters; `smoke` first drives a
 //! deterministic fork-join workload through the pool so the section
 //! reflects nested-parallel scheduling even though the smoke graphs are
@@ -95,7 +97,7 @@ fn main() {
         let report = match build_json(&what) {
             Some(report) => report,
             None if KNOWN_EXPERIMENTS.contains(&what.as_str()) => fail(&format!(
-                "`{what}` has no JSON form; supported: table2, table3, wing, smoke"
+                "`{what}` has no JSON form; supported: table2, table3, wing, dynamic, smoke"
             )),
             None => fail(&format!(
                 "unknown experiment `{what}`; see --help in the module docs"
@@ -129,6 +131,7 @@ fn main() {
         "fig10" => fig10_fig11(Side::U),
         "fig11" => fig10_fig11(Side::V),
         "wing" => wing_extension(),
+        "dynamic" => dynamic_experiment(),
         "projection" => projection_motivation(),
         "smoke" => smoke(),
         "all" => {
@@ -143,6 +146,7 @@ fn main() {
             fig10_fig11(Side::U);
             fig10_fig11(Side::V);
             wing_extension();
+            dynamic_experiment();
             projection_motivation();
         }
         other => fail(&format!(
@@ -163,6 +167,7 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "fig10",
     "fig11",
     "wing",
+    "dynamic",
     "projection",
     "smoke",
     "all",
@@ -188,6 +193,7 @@ fn build_json(what: &str) -> Option<ReproReport> {
         "table2" => report.table2 = Some(table2_rows()),
         "table3" => report.table3 = Some(table3_rows()),
         "wing" => report.wing = Some(wing_rows()),
+        "dynamic" => report.dynamic = Some(dynamic_rows()),
         "smoke" => {
             report.smoke = Some(smoke_report());
             // The smoke graphs are deliberately tiny, so drive one
@@ -595,6 +601,48 @@ fn wing_extension() {
         );
     }
     println!("(work in millions of intersection steps; wing numbers verified equal)");
+}
+
+/// Batch-dynamic maintenance: per-batch incremental update cost against
+/// the from-scratch recount + re-peel it replaces. Divergence from the
+/// oracles panics inside `dynamic_rows`.
+fn dynamic_experiment() {
+    header("dynamic: batch-dynamic butterfly + tip maintenance vs from-scratch");
+    println!(
+        "{:<10} {:>5} {:>5} {:>5} {:>7} {:>7} {:>9} {:>9} {:>9} {:>15} {:>8} {:>10} {:>10}",
+        "family",
+        "batch",
+        "+ins",
+        "-del",
+        "gained",
+        "lost",
+        "total_bf",
+        "W_upd",
+        "W_scratch",
+        "policy",
+        "dirty%",
+        "t_upd(s)",
+        "t_scr(s)"
+    );
+    for r in dynamic_rows() {
+        println!(
+            "{:<10} {:>5} {:>5} {:>5} {:>7} {:>7} {:>9} {:>9} {:>9} {:>15} {:>8.2} {:>10.4} {:>10.4}",
+            r.family,
+            r.batch,
+            r.inserted,
+            r.deleted,
+            r.butterflies_gained,
+            r.butterflies_lost,
+            r.total_butterflies,
+            r.update_work,
+            r.recount_work,
+            r.policy.as_str(),
+            r.dirty_fraction * 100.0,
+            r.time_update_secs,
+            r.time_recount_secs,
+        );
+    }
+    println!("(W = wedge/intersection work; every row recount- and BUP-verified)");
 }
 
 /// `smoke`: the oracle-checked CI workload, in human-readable form.

@@ -24,6 +24,7 @@ pub struct ReproReport {
     pub table2: Option<Vec<Table2Row>>,
     pub table3: Option<Vec<Table3Row>>,
     pub wing: Option<Vec<WingRow>>,
+    pub dynamic: Option<Vec<DynamicRow>>,
     pub smoke: Option<SmokeReport>,
     /// Cumulative work-stealing scheduler counters at the end of the run.
     /// Nondeterministic (OS-scheduling-dependent), so snapshot/diff
@@ -41,6 +42,7 @@ impl ReproReport {
             table2: None,
             table3: None,
             wing: None,
+            dynamic: None,
             smoke: None,
             scheduler: None,
         }
@@ -131,6 +133,39 @@ pub struct WingRow {
     /// Lets `repro check-threads` compare the full decomposition across
     /// thread counts without embedding tens of thousands of values.
     pub wing_checksum: u64,
+}
+
+/// One batch of the `repro dynamic` experiment: incremental maintenance
+/// cost vs the cost of recounting + re-peeling from scratch, with the
+/// differential equalities recorded (and asserted during the run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicRow {
+    pub family: String,
+    /// 0-based batch index within the family's schedule.
+    pub batch: usize,
+    pub inserted: usize,
+    pub deleted: usize,
+    pub butterflies_gained: u64,
+    pub butterflies_lost: u64,
+    pub total_butterflies: u64,
+    /// Intersection steps the incremental counter spent on the batch.
+    pub update_work: u64,
+    /// Wedges a from-scratch pipeline (Algorithm 1 recount + BUP peel)
+    /// traverses on the materialized graph — what the batch avoided.
+    pub recount_work: u64,
+    /// Tip-update policy the dirty-fraction heuristic chose.
+    pub policy: receipt::dynamic::UpdatePolicy,
+    pub dirty_fraction: f64,
+    pub theta_max: u64,
+    /// FNV-1a digest of the maintained tip numbers after the batch.
+    pub tip_checksum: u64,
+    /// Maintained per-vertex + per-edge counts equal a from-scratch
+    /// recount (asserted during the run).
+    pub counts_match_recount: bool,
+    /// Maintained tips equal `bup_decompose` on the materialized graph.
+    pub tips_match_bup: bool,
+    pub time_update_secs: f64,
+    pub time_recount_secs: f64,
 }
 
 /// `repro smoke`: small deterministic runs cross-checked against the

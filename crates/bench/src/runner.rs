@@ -73,17 +73,10 @@ pub fn run_parb(w: &Workload) -> BaselineResult {
 }
 
 /// FNV-1a over little-endian `u64` words — the digest behind
-/// `WingRow::wing_checksum` (thread-count-invariant decomposition id).
-pub fn fnv1a_u64(values: &[u64]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &value in values {
-        for byte in value.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    hash
-}
+/// `WingRow::wing_checksum` and `DynamicRow::tip_checksum`
+/// (thread-count-invariant decomposition id). Canonical implementation
+/// lives with the dynamic-maintenance layer.
+pub use receipt::dynamic::fnv1a_u64;
 
 /// Snapshot of the vendored pool's work-stealing counters, shaped for the
 /// JSON report. Taken after an experiment ran, so it covers the whole
@@ -257,6 +250,95 @@ pub fn wing_rows() -> Vec<WingRow> {
             }
         })
         .collect()
+}
+
+/// The `repro dynamic` workloads: downscaled graph families with a seeded
+/// insert/delete schedule each. `(family, graph, batches, ops_per_batch,
+/// schedule seed, dirty threshold)` — thresholds are chosen so the rows
+/// exercise both the seeded re-peel and the full-recompute fallback.
+pub fn dynamic_workloads() -> Vec<(&'static str, BipartiteCsr, usize, usize, u64, f64)> {
+    vec![
+        (
+            "zipf-2k",
+            bigraph::gen::zipf(700, 400, 2_000, 0.5, 0.9, 31),
+            4,
+            120,
+            131,
+            0.2,
+        ),
+        (
+            "blocks-1k",
+            bigraph::gen::planted_bicliques(400, 400, 8, 5, 5, 800, 33),
+            4,
+            100,
+            133,
+            0.01,
+        ),
+        (
+            "pa-2k",
+            bigraph::gen::preferential_attachment(800, 500, 3, 35),
+            4,
+            120,
+            135,
+            0.2,
+        ),
+    ]
+}
+
+/// `repro dynamic` rows: apply each family's schedule batch by batch,
+/// maintaining butterfly counts and tips incrementally, and price every
+/// batch against the from-scratch pipeline (parallel recount + BUP peel)
+/// on the materialized graph. Panics if the incremental state diverges
+/// from the from-scratch oracles — the differential equality is the
+/// experiment's premise, exactly like `table3_rows`.
+pub fn dynamic_rows() -> Vec<crate::report::DynamicRow> {
+    use receipt::dynamic::DynamicTipState;
+
+    let mut rows = Vec::new();
+    for (family, graph, batches, ops, seed, dirty_threshold) in dynamic_workloads() {
+        let schedule = bigraph::dynamic::seeded_schedule(&graph, batches, ops, seed);
+        let mut index = butterfly::DynamicButterflyIndex::new(graph);
+        let mut state = DynamicTipState::with_threshold(
+            &index,
+            Side::U,
+            Config::default().with_partitions(8),
+            dirty_threshold,
+        );
+        for (batch_idx, batch) in schedule.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            let delta = index.apply_batch(batch);
+            let update = state.update(&index, &delta);
+            let time_update = t0.elapsed();
+
+            // The shared differential gate doubles as the from-scratch
+            // pipeline being priced (full recount + BUP re-peel).
+            let t1 = std::time::Instant::now();
+            let scratch = receipt::dynamic::verify_against_scratch(&index, &[&state])
+                .unwrap_or_else(|e| panic!("{family} batch {batch_idx}: {e}"));
+            let time_recount = t1.elapsed();
+
+            rows.push(crate::report::DynamicRow {
+                family: family.to_string(),
+                batch: batch_idx,
+                inserted: delta.application.inserted.len(),
+                deleted: delta.application.deleted.len(),
+                butterflies_gained: delta.gained,
+                butterflies_lost: delta.lost,
+                total_butterflies: index.total_butterflies(),
+                update_work: delta.work,
+                recount_work: scratch.counts.wedges_traversed + scratch.peel_wedges,
+                policy: update.policy,
+                dirty_fraction: update.dirty_fraction,
+                theta_max: state.theta_max(),
+                tip_checksum: fnv1a_u64(state.tip()),
+                counts_match_recount: true,
+                tips_match_bup: true,
+                time_update_secs: time_update.as_secs_f64(),
+                time_recount_secs: time_recount.as_secs_f64(),
+            });
+        }
+    }
+    rows
 }
 
 /// `repro smoke`: seconds-scale deterministic runs on small generated

@@ -3,8 +3,13 @@
 //! The paper's datasets come from the KONECT collection, distributed as
 //! whitespace-separated edge lists with `%` comment headers and optional
 //! trailing weight/timestamp columns. This reader accepts that format
-//! (ignoring extra columns), auto-detects 1-based ids, and sizes the sides
-//! from the maximum observed id unless explicit sizes are given.
+//! (ignoring extra columns) and understands the size header that
+//! [`write_graph`] emits — `% {m} {nu} {nv}` — which makes the round trip
+//! lossless: the header's side sizes are authoritative (trailing isolated
+//! vertices survive) and its presence marks the ids as 0-based (a file
+//! whose vertex 0 happens to have no edges is not mistaken for 1-based).
+//! Headerless files fall back to the KONECT convention: ids are 1-based
+//! when every observed id is ≥ 1, and each side is sized by its maximum id.
 
 use crate::builder::GraphBuilder;
 use crate::csr::BipartiteCsr;
@@ -16,8 +21,17 @@ use std::path::Path;
 #[derive(Debug)]
 pub enum IoError {
     Io(std::io::Error),
-    Parse { line: usize, content: String },
+    Parse {
+        line: usize,
+        content: String,
+    },
     Build(crate::builder::BuildError),
+    /// Any of the above, wrapped with the path of the offending file by
+    /// [`read_graph_path`] so callers' error messages name the file.
+    File {
+        path: String,
+        error: Box<IoError>,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -28,6 +42,7 @@ impl std::fmt::Display for IoError {
                 write!(f, "parse error on line {line}: {content:?}")
             }
             IoError::Build(e) => write!(f, "build error: {e}"),
+            IoError::File { path, error } => write!(f, "failed to read {path}: {error}"),
         }
     }
 }
@@ -40,25 +55,81 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Reads `(u, v)` pairs from a KONECT-style listing. Lines starting with
-/// `%` or `#` (and blank lines) are skipped; columns beyond the first two
-/// are ignored. If every id is ≥ 1 the whole file is treated as 1-based and
-/// shifted down (KONECT convention).
-pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId)>, IoError> {
-    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut min_id = VertexId::MAX;
+/// Everything one pass over an edge-list file yields: the raw (unshifted)
+/// edges, the `% m nu nv` size header if one was present, and the observed
+/// id extremes used by the 1-based heuristic.
+struct ParsedEdgeList {
+    edges: Vec<(VertexId, VertexId)>,
+    header: Option<(usize, usize, usize)>,
+    min_id: VertexId,
+    max_u: VertexId,
+    max_v: VertexId,
+}
+
+impl ParsedEdgeList {
+    /// Whether the ids should be shifted down by one. With a header the
+    /// file is 0-based by contract (that is what [`write_graph`] emits) —
+    /// unless some id *equals* a declared side size, which only a 1-based
+    /// file can produce. Headerless files use the KONECT all-ids-≥-1
+    /// heuristic.
+    ///
+    /// The header cases are genuinely ambiguous — a headered file whose
+    /// ids are all ≥ 1 *and* all below the declared sizes could be either
+    /// a 0-based graph with an isolated vertex 0 (what our writer
+    /// produces) or a 1-based KONECT download with trailing isolated
+    /// vertices. No rule satisfies both; this reader resolves the tie in
+    /// favour of its own writer so the round trip is lossless, and only
+    /// shifts a headered file on the unambiguous equals-size evidence.
+    /// Foreign 1-based files with headers *and* trailing isolated
+    /// vertices are rare (KONECT ids are typically dense); if one
+    /// matters, strip its header to get the 1-based heuristic.
+    fn one_based(&self) -> bool {
+        if self.edges.is_empty() || self.min_id == 0 {
+            return false;
+        }
+        match self.header {
+            Some((_, nu, nv)) => self.max_u as usize == nu || self.max_v as usize == nv,
+            None => true,
+        }
+    }
+}
+
+fn parse_edge_list<R: Read>(reader: R) -> Result<ParsedEdgeList, IoError> {
+    let mut parsed = ParsedEdgeList {
+        edges: Vec::new(),
+        header: None,
+        min_id: VertexId::MAX,
+        max_u: 0,
+        max_v: 0,
+    };
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
         let t = line.trim();
-        if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if let Some(comment) = t.strip_prefix('%') {
+            // The KONECT size header: a comment whose payload is exactly
+            // three integers, `% {m} {nu} {nv}`. Only the first one counts.
+            if parsed.header.is_none() && parsed.edges.is_empty() {
+                let nums: Vec<usize> = comment
+                    .split_whitespace()
+                    .map_while(|w| w.parse().ok())
+                    .collect();
+                if nums.len() == 3 && comment.split_whitespace().count() == 3 {
+                    parsed.header = Some((nums[0], nums[1], nums[2]));
+                }
+            }
             continue;
         }
         let mut cols = t.split_whitespace();
         let parse = |s: Option<&str>| -> Option<VertexId> { s?.parse().ok() };
         match (parse(cols.next()), parse(cols.next())) {
             (Some(u), Some(v)) => {
-                min_id = min_id.min(u).min(v);
-                edges.push((u, v));
+                parsed.min_id = parsed.min_id.min(u).min(v);
+                parsed.max_u = parsed.max_u.max(u);
+                parsed.max_v = parsed.max_v.max(v);
+                parsed.edges.push((u, v));
             }
             _ => {
                 return Err(IoError::Parse {
@@ -68,7 +139,19 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId)>, I
             }
         }
     }
-    if !edges.is_empty() && min_id >= 1 {
+    Ok(parsed)
+}
+
+/// Reads `(u, v)` pairs from a KONECT-style listing. Lines starting with
+/// `%` or `#` (and blank lines) are skipped; columns beyond the first two
+/// are ignored. Files carrying the `% {m} {nu} {nv}` size header are
+/// 0-based by contract; headerless files are treated as 1-based and
+/// shifted down when every id is ≥ 1 (KONECT convention).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId)>, IoError> {
+    let parsed = parse_edge_list(reader)?;
+    let shift = parsed.one_based();
+    let mut edges = parsed.edges;
+    if shift {
         for e in &mut edges {
             e.0 -= 1;
             e.1 -= 1;
@@ -77,31 +160,69 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId)>, I
     Ok(edges)
 }
 
-/// Reads an edge list into a graph, sizing each side from the maximum id.
+/// Reads an edge list into a graph. With a `% {m} {nu} {nv}` header the
+/// declared sizes are authoritative (isolated vertices round-trip);
+/// otherwise each side is sized by its maximum observed id.
 pub fn read_graph<R: Read>(reader: R) -> Result<BipartiteCsr, IoError> {
-    let edges = read_edge_list(reader)?;
-    let nu = edges
-        .iter()
-        .map(|&(u, _)| u as usize + 1)
-        .max()
-        .unwrap_or(0);
-    let nv = edges
-        .iter()
-        .map(|&(_, v)| v as usize + 1)
-        .max()
-        .unwrap_or(0);
+    read_graph_with_base(reader).map(|(g, _)| g)
+}
+
+/// [`read_graph`] plus whether the file's ids were 1-based and shifted
+/// down. Consumers that accept *companion* files keyed by the same ids
+/// (e.g. `tipdecomp stream` op batches) need the flag to shift those ids
+/// identically.
+pub fn read_graph_with_base<R: Read>(reader: R) -> Result<(BipartiteCsr, bool), IoError> {
+    let parsed = parse_edge_list(reader)?;
+    let shift = parsed.one_based();
+    let (nu, nv) = match parsed.header {
+        Some((_, nu, nv)) => (nu, nv),
+        None => {
+            if parsed.edges.is_empty() {
+                (0, 0)
+            } else {
+                let off = usize::from(shift);
+                (
+                    parsed.max_u as usize + 1 - off,
+                    parsed.max_v as usize + 1 - off,
+                )
+            }
+        }
+    };
+    let mut edges = parsed.edges;
+    if shift {
+        for e in &mut edges {
+            e.0 -= 1;
+            e.1 -= 1;
+        }
+    }
     GraphBuilder::new(nu, nv)
         .add_edges(edges)
         .build()
+        .map(|g| (g, shift))
         .map_err(IoError::Build)
 }
 
-/// Reads a graph from a file path.
+/// Reads a graph from a file path. Open, read, and parse errors are
+/// wrapped with the offending path ([`IoError::File`]).
 pub fn read_graph_path(path: impl AsRef<Path>) -> Result<BipartiteCsr, IoError> {
-    read_graph(std::fs::File::open(path)?)
+    read_graph_path_with_base(path).map(|(g, _)| g)
 }
 
-/// Writes a graph as a 0-based edge list with a `%` header.
+/// [`read_graph_with_base`] from a file path, with the same
+/// path-wrapped errors as [`read_graph_path`].
+pub fn read_graph_path_with_base(path: impl AsRef<Path>) -> Result<(BipartiteCsr, bool), IoError> {
+    let path = path.as_ref();
+    let wrap = |error: IoError| IoError::File {
+        path: path.display().to_string(),
+        error: Box::new(error),
+    };
+    let file = std::fs::File::open(path).map_err(|e| wrap(IoError::Io(e)))?;
+    read_graph_with_base(file).map_err(wrap)
+}
+
+/// Writes a graph as a 0-based edge list with a `%` header. The second
+/// header line, `% {m} {nu} {nv}`, is what lets [`read_graph`] restore the
+/// exact side sizes and id base.
 pub fn write_graph<W: Write>(g: &BipartiteCsr, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(w, "% bip unweighted")?;
@@ -126,7 +247,7 @@ mod tests {
     fn parses_comments_and_extra_columns() {
         let text = "% bip\n# another comment\n\n1 2 5.0 1234\n2 1\n3 3\n";
         let edges = read_edge_list(text.as_bytes()).unwrap();
-        // 1-based detected and shifted.
+        // Headerless and 1-based: detected and shifted.
         assert_eq!(edges, vec![(0, 1), (1, 0), (2, 2)]);
     }
 
@@ -134,6 +255,36 @@ mod tests {
     fn zero_based_kept_as_is() {
         let edges = read_edge_list("0 5\n3 0\n".as_bytes()).unwrap();
         assert_eq!(edges, vec![(0, 5), (3, 0)]);
+    }
+
+    #[test]
+    fn header_marks_zero_based() {
+        // Without the header this file would be shifted (every id >= 1);
+        // the header pins it as a 0-based listing whose vertex 0 has no
+        // edges.
+        let text = "% bip unweighted\n% 2 4 4\n1 2\n3 3\n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(1, 2), (3, 3)]);
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!((g.num_u(), g.num_v()), (4, 4));
+    }
+
+    #[test]
+    fn header_with_one_based_ids_still_shifts() {
+        // A genuine KONECT header file: ids 1..=nu fill the declared
+        // range, so some id equals its side size — impossible 0-based.
+        let text = "% bip\n% 3 2 3\n1 1\n2 2\n1 3\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!((g.num_u(), g.num_v()), (2, 3));
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 0), (0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn header_is_only_read_before_edges() {
+        // A trailing three-integer comment is not a size header.
+        let text = "5 5\n% 1 2 3\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!((g.num_u(), g.num_v()), (5, 5)); // 1-based heuristic
     }
 
     #[test]
@@ -158,16 +309,48 @@ mod tests {
     }
 
     #[test]
-    fn round_trip() {
+    fn empty_graph_with_header_keeps_sizes() {
+        let g = read_graph("% bip unweighted\n% 0 3 7\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!((g.num_u(), g.num_v()), (3, 7));
+    }
+
+    #[test]
+    fn round_trip_preserves_ids_and_edges() {
         let g = from_edges(3, 4, &[(0, 0), (1, 3), (2, 1), (2, 2)]).unwrap();
         let mut buf = Vec::new();
         write_graph(&g, &mut buf).unwrap();
         let g2 = read_graph(buf.as_slice()).unwrap();
-        // Sides are sized by max id, so trailing isolated vertices may be
-        // trimmed, but edges are identical.
-        let a: Vec<_> = g.edges().collect();
-        let b: Vec<_> = g2.edges().collect();
-        assert_eq!(a, b);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical_with_unused_vertex_zero() {
+        // Vertex 0 has no edges on either side: the pre-header reader
+        // misread this file as 1-based and shifted every id down.
+        let g = from_edges(4, 4, &[(1, 1), (1, 2), (3, 1), (3, 3)]).unwrap();
+        let mut first = Vec::new();
+        write_graph(&g, &mut first).unwrap();
+        let g2 = read_graph(first.as_slice()).unwrap();
+        assert_eq!(g, g2, "ids must not shift");
+        let mut second = Vec::new();
+        write_graph(&g2, &mut second).unwrap();
+        assert_eq!(first, second, "write → read → write must be bytes-stable");
+    }
+
+    #[test]
+    fn round_trip_keeps_trailing_isolated_vertices() {
+        // Max edge ids are (1, 0) but the sides are declared 5 x 6: the
+        // trailing isolated vertices must survive the round trip.
+        let g = from_edges(5, 6, &[(0, 0), (1, 0)]).unwrap();
+        let mut first = Vec::new();
+        write_graph(&g, &mut first).unwrap();
+        let g2 = read_graph(first.as_slice()).unwrap();
+        assert_eq!((g2.num_u(), g2.num_v()), (5, 6));
+        assert_eq!(g, g2);
+        let mut second = Vec::new();
+        write_graph(&g2, &mut second).unwrap();
+        assert_eq!(first, second);
     }
 
     #[test]
@@ -178,11 +361,42 @@ mod tests {
         let path = dir.join("g.tsv");
         write_graph_path(&g, &path).unwrap();
         let g2 = read_graph_path(&path).unwrap();
-        assert_eq!(
-            g.edges().collect::<Vec<_>>(),
-            g2.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(g, g2);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_error_names_the_path() {
+        let err = read_graph_path("/nonexistent/graph.tsv").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("failed to read /nonexistent/graph.tsv"),
+            "{msg}"
+        );
+        assert!(matches!(err, IoError::File { .. }));
+    }
+
+    #[test]
+    fn parse_error_in_file_names_the_path() {
+        let dir = std::env::temp_dir().join("bigraph_io_parse_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.tsv");
+        std::fs::write(&path, "0 0\nnot an edge\n").unwrap();
+        let err = read_graph_path(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad.tsv"), "{msg}");
+        assert!(msg.contains("parse error on line 2"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn base_flag_reports_whether_ids_shifted() {
+        let (_, shifted) = read_graph_with_base("1 1\n2 2\n".as_bytes()).unwrap();
+        assert!(shifted, "headerless all-ids-≥-1 file is 1-based");
+        let (_, shifted) = read_graph_with_base("0 1\n2 2\n".as_bytes()).unwrap();
+        assert!(!shifted);
+        let (_, shifted) = read_graph_with_base("% bip\n% 2 4 4\n1 1\n2 2\n".as_bytes()).unwrap();
+        assert!(!shifted, "header marks 0-based");
     }
 
     #[test]

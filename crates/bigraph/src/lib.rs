@@ -16,6 +16,9 @@
 //!   (RECEIPT FD peels each `G_i = G[U_i ∪ V]` independently).
 //! * [`compact`] — parallel edge compaction used by Dynamic Graph
 //!   Maintenance (§4.2).
+//! * [`dynamic`] — batch-dynamic graphs: a delta overlay over the CSR with
+//!   threshold-triggered recompaction, plus the `tipdecomp stream` batch
+//!   file format and seeded insert/delete schedules.
 //! * [`gen`] — seeded synthetic generators (uniform, Zipf configuration
 //!   model, planted bicliques, affiliation model).
 //! * [`datasets`] — six named generator presets standing in for the KONECT
@@ -28,6 +31,7 @@ pub mod builder;
 pub mod compact;
 pub mod csr;
 pub mod datasets;
+pub mod dynamic;
 pub mod gen;
 pub mod induced;
 pub mod io;
@@ -37,6 +41,7 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::{BipartiteCsr, Side, SideGraph};
+pub use dynamic::{DynamicBigraph, EdgeOp};
 pub use induced::InducedGraph;
 pub use relabel::RankedGraph;
 

@@ -14,12 +14,17 @@
 //!   aggregation) adopted by RECEIPT from ParButterfly.
 //! * [`per_edge`] — per-edge butterfly counts, the support function for
 //!   wing (edge) decomposition (§7).
+//! * [`dynamic`] — incremental maintenance of per-vertex and per-edge
+//!   counts across batched edge insertions/deletions.
 
 pub mod approx;
 pub mod count;
+pub mod dynamic;
 pub mod naive;
 pub mod parallel;
 pub mod per_edge;
+
+pub use dynamic::{BatchDelta, DynamicButterflyIndex};
 
 use bigraph::{BipartiteCsr, Side};
 

@@ -34,6 +34,19 @@ pub enum Command {
         output: Option<String>,
         json: bool,
     },
+    /// `stream <input> <ops> [--side U|V] [--dirty-threshold F]
+    /// [--compact-threshold F] [--verify] [--output FILE] [--json]`
+    Stream {
+        input: String,
+        ops: String,
+        side: Side,
+        config: Config,
+        dirty_threshold: f64,
+        compact_threshold: f64,
+        verify: bool,
+        output: Option<String>,
+        json: bool,
+    },
     /// `ktips <input> -k N [--side U|V]`
     KTips {
         input: String,
@@ -59,6 +72,7 @@ impl Command {
             Command::Tip { .. } => "tip",
             Command::Wing { .. } => "wing",
             Command::Count { .. } => "count",
+            Command::Stream { .. } => "stream",
             Command::KTips { .. } => "ktips",
             Command::Stats { .. } => "stats",
             Command::Generate { .. } => "generate",
@@ -87,12 +101,22 @@ USAGE:
   tipdecomp wing <edges.tsv>  [--side U|V] [--partitions N] [--output FILE]
                               [--json]
   tipdecomp count <edges.tsv> [--output FILE] [--json]
+  tipdecomp stream <edges.tsv> <ops.txt> [--side U|V] [--dirty-threshold F]
+                              [--compact-threshold F] [--verify]
+                              [--output FILE] [--json]
   tipdecomp ktips <edges.tsv> -k N [--side U|V]
   tipdecomp stats <edges.tsv>
   tipdecomp generate <It|De|Or|Lj|En|Tr> [--output FILE]
 
-Input: whitespace-separated `u v` pairs; `%`/`#` comments ignored;
-1-based ids auto-detected (KONECT format).
+Input: whitespace-separated `u v` pairs; `%`/`#` comments ignored; a
+`% m nu nv` header pins side sizes and 0-based ids, otherwise 1-based
+ids are auto-detected (KONECT format).
+Stream ops: `+ u v` inserts, `- u v` deletes (sign may be glued to u);
+blank lines separate batches. Ops share the graph file's id base (a
+1-based graph file means 1-based ops). Each batch updates butterfly
+counts incrementally and re-peels per the dirty-fraction policy;
+`--verify` additionally checks every batch against a from-scratch
+recount + BUP.
 Output: `--json` emits a versioned report document (see README, \"JSON
 output\") instead of TSV; `--out` is an alias for `--output`.
 ";
@@ -123,6 +147,14 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             Some(s) => s
                 .parse()
                 .map_err(|_| UsageError(format!("{name} expects an integer, got {s:?}"))),
+        }
+    };
+    let opt_f64 = |name: &str, default: f64| -> Result<f64, UsageError> {
+        match opt(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| UsageError(format!("{name} expects a number, got {s:?}"))),
         }
     };
     let side = match opt("--side").map(|s| s.to_ascii_uppercase()) {
@@ -163,6 +195,34 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             output: output(),
             json: flag("--json"),
         }),
+        "stream" => {
+            let input = positional(&rest)?;
+            let ops = rest
+                .get(1)
+                .filter(|s| !s.starts_with('-'))
+                .map(|s| s.to_string())
+                .ok_or_else(|| UsageError("`stream` needs a graph file and an ops file".into()))?;
+            let mut config = Config::default();
+            config.partitions = opt_usize("--partitions", config.partitions)?;
+            config.threads = opt_usize("--threads", 0)?;
+            Ok(Command::Stream {
+                input,
+                ops,
+                side,
+                config,
+                dirty_threshold: opt_f64(
+                    "--dirty-threshold",
+                    receipt::dynamic::DEFAULT_DIRTY_THRESHOLD,
+                )?,
+                compact_threshold: opt_f64(
+                    "--compact-threshold",
+                    bigraph::dynamic::DEFAULT_COMPACT_THRESHOLD,
+                )?,
+                verify: flag("--verify"),
+                output: output(),
+                json: flag("--json"),
+            })
+        }
         "ktips" => {
             let k = opt("-k")
                 .ok_or_else(|| UsageError("ktips needs -k N".into()))?
@@ -187,7 +247,10 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
 }
 
 fn load(input: &str) -> Result<BipartiteCsr, String> {
-    bigraph::io::read_graph_path(input).map_err(|e| format!("failed to read {input}: {e}"))
+    // `read_graph_path` wraps every failure with the offending path
+    // (`IoError::File`), so the message already reads "failed to read
+    // <path>: ...".
+    bigraph::io::read_graph_path(input).map_err(|e| e.to_string())
 }
 
 fn sink(output: &Option<String>) -> Result<Box<dyn Write>, String> {
@@ -204,6 +267,122 @@ fn emit_json<T: serde::Serialize>(report: &T, output: &Option<String>) -> Result
     let mut out = sink(output)?;
     let text = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
     writeln!(out, "{text}").map_err(|e| e.to_string())
+}
+
+/// Aligns ops-file ids with the graph file's id base: a 1-based graph
+/// file means a 1-based ops file, so shift the ops down identically.
+fn rebase_ops(
+    batches: Vec<Vec<bigraph::EdgeOp>>,
+    graph_one_based: bool,
+    ops_path: &str,
+) -> Result<Vec<Vec<bigraph::EdgeOp>>, String> {
+    use bigraph::EdgeOp;
+    if !graph_one_based {
+        return Ok(batches);
+    }
+    batches
+        .into_iter()
+        .map(|batch| {
+            batch
+                .into_iter()
+                .map(|op| {
+                    let (u, v) = op.edge();
+                    if u == 0 || v == 0 {
+                        return Err(format!(
+                            "{ops_path}: op references id 0 but the graph file is 1-based \
+                             (ops share the graph file's id base)"
+                        ));
+                    }
+                    Ok(match op {
+                        EdgeOp::Insert(..) => EdgeOp::Insert(u - 1, v - 1),
+                        EdgeOp::Delete(..) => EdgeOp::Delete(u - 1, v - 1),
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Drives a stream of batches through the incremental index + tip state,
+/// producing the versioned per-batch report. With `verify`, every batch is
+/// differentially checked against a from-scratch recount and a BUP re-peel
+/// of the materialized graph via `receipt::dynamic::verify_against_scratch`
+/// (a mismatch is a run error → exit 1). Honours `config.threads` the same
+/// way `tip_decompose` does: a nonzero value runs the whole stream inside
+/// a dedicated pool of that size.
+#[allow(clippy::too_many_arguments)]
+fn run_stream(
+    input: &str,
+    ops: &str,
+    g: bigraph::BipartiteCsr,
+    batches: &[Vec<bigraph::EdgeOp>],
+    side: Side,
+    config: Config,
+    dirty_threshold: f64,
+    compact_threshold: f64,
+    verify: bool,
+) -> Result<receipt::report::StreamReport, String> {
+    use receipt::dynamic::fnv1a_u64;
+
+    let threads = config.threads;
+    let drive = || -> Result<receipt::report::StreamReport, String> {
+        let mut index = butterfly::DynamicButterflyIndex::with_threshold(g, compact_threshold);
+        let mut state = receipt::dynamic::DynamicTipState::with_threshold(
+            &index,
+            side,
+            config.clone(),
+            dirty_threshold,
+        );
+        let mut rows = Vec::with_capacity(batches.len());
+        for (i, batch) in batches.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            let delta = index.apply_batch(batch);
+            let update = state.update(&index, &delta);
+            let time_update_secs = t0.elapsed().as_secs_f64();
+            if verify {
+                receipt::dynamic::verify_against_scratch(&index, &[&state])
+                    .map_err(|e| format!("batch {i}: {e}"))?;
+            }
+            rows.push(receipt::report::StreamBatchReport {
+                batch: i,
+                inserted: delta.application.inserted.len(),
+                deleted: delta.application.deleted.len(),
+                skipped: delta.application.skipped,
+                compacted: delta.application.compacted,
+                butterflies_gained: delta.gained,
+                butterflies_lost: delta.lost,
+                total_butterflies: index.total_butterflies(),
+                update_work: delta.work,
+                policy: update.policy,
+                dirty: update.dirty,
+                dirty_fraction: update.dirty_fraction,
+                peel_wedges: update.wedges,
+                theta_max: state.theta_max(),
+                tip_checksum: fnv1a_u64(state.tip()),
+                time_update_secs,
+            });
+        }
+        Ok(receipt::report::StreamReport {
+            schema_version: receipt::report::SCHEMA_VERSION,
+            kind: "stream".to_string(),
+            input: input.to_string(),
+            ops: ops.to_string(),
+            side,
+            config: config.clone(),
+            dirty_threshold,
+            verified: verify,
+            batches: rows,
+            final_num_edges: index.graph().num_edges(),
+            final_total_butterflies: index.total_butterflies(),
+            final_theta_max: state.theta_max(),
+            final_tip_checksum: fnv1a_u64(state.tip()),
+        })
+    };
+    if threads > 0 {
+        parutil::with_pool(threads, drive)
+    } else {
+        drive()
+    }
 }
 
 /// Executes a parsed command. Returns the process exit code.
@@ -301,6 +480,74 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     writeln!(out, "V\t{v}\t{b}").map_err(|e| e.to_string())?;
                 }
                 eprintln!("total butterflies: {}", c.total());
+            }
+            Ok(())
+        }
+        Command::Stream {
+            input,
+            ops,
+            side,
+            config,
+            dirty_threshold,
+            compact_threshold,
+            verify,
+            output,
+            json,
+        } => {
+            // Ops share the graph file's id base: load both together and
+            // shift the ops down when the graph was 1-based.
+            let (g, one_based) =
+                bigraph::io::read_graph_path_with_base(&input).map_err(|e| e.to_string())?;
+            let file =
+                std::fs::File::open(&ops).map_err(|e| format!("failed to read {ops}: {e}"))?;
+            let batches = bigraph::dynamic::read_batches(file)
+                .map_err(|e| format!("failed to read {ops}: {e}"))?;
+            let batches = rebase_ops(batches, one_based, &ops)?;
+            let report = run_stream(
+                &input,
+                &ops,
+                g,
+                &batches,
+                side,
+                config,
+                dirty_threshold,
+                compact_threshold,
+                verify,
+            )?;
+            if json {
+                emit_json(&report, &output)?;
+            } else {
+                let mut out = sink(&output)?;
+                writeln!(
+                    out,
+                    "# batch\t+ins\t-del\tskip\tgained\tlost\ttotal_bf\tpolicy\tdirty\ttheta_max"
+                )
+                .map_err(|e| e.to_string())?;
+                for b in &report.batches {
+                    writeln!(
+                        out,
+                        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                        b.batch,
+                        b.inserted,
+                        b.deleted,
+                        b.skipped,
+                        b.butterflies_gained,
+                        b.butterflies_lost,
+                        b.total_butterflies,
+                        b.policy.as_str(),
+                        b.dirty,
+                        b.theta_max,
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                eprintln!(
+                    "{} batches; final: |E| = {}, butterflies = {}, theta_max = {}{}",
+                    report.batches.len(),
+                    report.final_num_edges,
+                    report.final_total_butterflies,
+                    report.final_theta_max,
+                    if verify { ", all batches verified" } else { "" }
+                );
             }
             Ok(())
         }
@@ -441,6 +688,153 @@ mod tests {
         assert!(parse(&sv(&["ktips", "g.tsv"])).is_err());
         assert!(parse(&sv(&["frobnicate"])).is_err());
         assert!(parse(&sv(&["tip", "g.tsv", "--partitions", "many"])).is_err());
+        assert!(parse(&sv(&["stream", "g.tsv"])).is_err());
+        assert!(parse(&sv(&["stream", "g.tsv", "--json"])).is_err());
+        assert!(parse(&sv(&[
+            "stream",
+            "g.tsv",
+            "ops.txt",
+            "--dirty-threshold",
+            "x"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parse_stream_defaults_and_flags() {
+        let cmd = parse(&sv(&["stream", "g.tsv", "ops.txt"])).unwrap();
+        match cmd {
+            Command::Stream {
+                input,
+                ops,
+                side,
+                dirty_threshold,
+                compact_threshold,
+                verify,
+                json,
+                ..
+            } => {
+                assert_eq!(input, "g.tsv");
+                assert_eq!(ops, "ops.txt");
+                assert_eq!(side, Side::U);
+                assert_eq!(dirty_threshold, receipt::dynamic::DEFAULT_DIRTY_THRESHOLD);
+                assert_eq!(
+                    compact_threshold,
+                    bigraph::dynamic::DEFAULT_COMPACT_THRESHOLD
+                );
+                assert!(!verify && !json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&sv(&[
+            "stream",
+            "g.tsv",
+            "ops.txt",
+            "--side",
+            "v",
+            "--dirty-threshold",
+            "0.5",
+            "--verify",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Stream {
+                side,
+                dirty_threshold,
+                verify,
+                json,
+                ..
+            } => {
+                assert_eq!(side, Side::V);
+                assert_eq!(dirty_threshold, 0.5);
+                assert!(verify && json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_ops_follow_a_one_based_graph_file() {
+        let dir = std::env::temp_dir().join("tipdecomp_stream_base");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.tsv");
+        let ops_path = dir.join("ops.txt");
+        // Headerless, every id ≥ 1 → the loader shifts to 0-based. K(2,2).
+        std::fs::write(&graph_path, "1 1\n1 2\n2 1\n2 2\n").unwrap();
+        // 1-based op: deleting the file's edge `2 2` must remove internal
+        // edge (1, 1) and break the single butterfly.
+        std::fs::write(&ops_path, "-2 2\n").unwrap();
+        let out_path = dir.join("stream.json");
+        run(Command::Stream {
+            input: graph_path.to_string_lossy().into_owned(),
+            ops: ops_path.to_string_lossy().into_owned(),
+            side: Side::U,
+            config: Config::default(),
+            dirty_threshold: 0.5,
+            compact_threshold: 0.25,
+            verify: true,
+            output: Some(out_path.to_string_lossy().into_owned()),
+            json: true,
+        })
+        .unwrap();
+        let report: receipt::report::StreamReport =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(report.batches[0].deleted, 1);
+        assert_eq!(report.batches[0].butterflies_lost, 1);
+        assert_eq!(report.final_total_butterflies, 0);
+
+        // An op naming id 0 against a 1-based graph is a run error.
+        std::fs::write(&ops_path, "-0 1\n").unwrap();
+        let err = run(Command::Stream {
+            input: graph_path.to_string_lossy().into_owned(),
+            ops: ops_path.to_string_lossy().into_owned(),
+            side: Side::U,
+            config: Config::default(),
+            dirty_threshold: 0.5,
+            compact_threshold: 0.25,
+            verify: false,
+            output: None,
+            json: true,
+        })
+        .unwrap_err();
+        assert!(err.contains("1-based"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_end_to_end_with_verification() {
+        let dir = std::env::temp_dir().join("tipdecomp_stream_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.tsv");
+        let ops_path = dir.join("ops.txt");
+        let g = bigraph::gen::zipf(30, 20, 120, 0.5, 0.8, 4);
+        bigraph::io::write_graph_path(&g, &graph_path).unwrap();
+        // Two batches: close a butterfly, then delete one of its edges.
+        std::fs::write(&ops_path, "+0 0\n+0 1\n+1 0\n+1 1\n\n-0 1\n+2 2\n").unwrap();
+        let out_path = dir.join("stream.json");
+        run(Command::Stream {
+            input: graph_path.to_string_lossy().into_owned(),
+            ops: ops_path.to_string_lossy().into_owned(),
+            side: Side::U,
+            config: Config::default(),
+            dirty_threshold: 0.2,
+            compact_threshold: 0.25,
+            verify: true,
+            output: Some(out_path.to_string_lossy().into_owned()),
+            json: true,
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let report: receipt::report::StreamReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(report.kind, "stream");
+        assert_eq!(report.batches.len(), 2);
+        assert!(report.verified);
+        assert_eq!(
+            report.batches.last().unwrap().total_butterflies,
+            report.final_total_butterflies
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -139,12 +139,16 @@ fn parse_errors_exit_2_with_usage() {
 
 #[test]
 fn run_errors_exit_1_with_subcommand_context() {
-    // Run errors (valid arguments, failing execution) exit 1 and name the
-    // failing subcommand so batch logs are attributable.
+    // Run errors (valid arguments, failing execution) exit 1, name the
+    // failing subcommand so batch logs are attributable, and name the
+    // offending file (the path travels inside `IoError::File`).
     let out = bin().args(["tip", "/no/such/file.tsv"]).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("failed to read"), "{stderr}");
+    assert!(
+        stderr.contains("failed to read /no/such/file.tsv"),
+        "{stderr}"
+    );
     assert!(stderr.contains("while running `tipdecomp tip`"), "{stderr}");
 
     let out = bin().args(["wing", "/no/such/file.tsv"]).output().unwrap();
@@ -163,4 +167,105 @@ fn run_errors_exit_1_with_subcommand_context() {
         stderr.contains("while running `tipdecomp generate`"),
         "{stderr}"
     );
+}
+
+#[test]
+fn parse_error_in_graph_file_names_path_and_line() {
+    let dir = temp_dir("badfile");
+    let path = dir.join("broken.tsv");
+    std::fs::write(&path, "0 0\nword salad\n").unwrap();
+    let out = bin()
+        .args(["count", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("broken.tsv"), "{stderr}");
+    assert!(stderr.contains("parse error on line 2"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_pipeline_on_fixture() {
+    let dir = temp_dir("stream");
+    let graph = write_fixture(&dir);
+    let ops = dir.join("ops.txt");
+    // Batch 1: break the butterfly. Batch 2: rebuild it plus a second one.
+    std::fs::write(
+        &ops,
+        "% stream fixture\n-0 1\n\n+0 1\n+2 1\n# u2 completes two butterflies\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "stream",
+            graph.to_str().unwrap(),
+            ops.to_str().unwrap(),
+            "--verify",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let rows: Vec<&str> = stdout.lines().skip(1).collect();
+    assert_eq!(rows.len(), 2, "{stdout}");
+    // Batch 0 loses the single butterfly; batch 1 regains butterflies.
+    assert!(rows[0].starts_with("0\t0\t1\t0\t0\t1\t0"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("all batches verified"), "{stderr}");
+
+    // JSON form decodes as a StreamReport and agrees with the text run.
+    let out = bin()
+        .args([
+            "stream",
+            graph.to_str().unwrap(),
+            ops.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let report: receipt::report::StreamReport =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(report.batches.len(), 2);
+    assert_eq!(report.batches[0].butterflies_lost, 1);
+    assert!(report.final_total_butterflies >= 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_errors_name_the_ops_file() {
+    let dir = temp_dir("stream_err");
+    let graph = write_fixture(&dir);
+    let out = bin()
+        .args(["stream", graph.to_str().unwrap(), "/no/such/ops.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed to read /no/such/ops.txt"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("while running `tipdecomp stream`"),
+        "{stderr}"
+    );
+
+    // Malformed op line: run error naming the file and line.
+    let ops = dir.join("bad_ops.txt");
+    std::fs::write(&ops, "+0 0\n0 1\n").unwrap();
+    let out = bin()
+        .args(["stream", graph.to_str().unwrap(), ops.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad_ops.txt"), "{stderr}");
+    assert!(stderr.contains("parse error on line 2"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -78,17 +78,25 @@ impl BucketQueue {
                 let mut batch = Vec::new();
                 for id in entries {
                     // Stale entries: either dead (claimed elsewhere) or the
-                    // priority moved; only exact matches belong here.
+                    // priority moved; only entries at (or below) the
+                    // frontier belong to this batch.
                     match peek(id) {
                         None => {}
-                        Some(p) if p == value && claim(id).is_some() => {
+                        // p == value is the common case. p < value means
+                        // the priority sank below the frontier after
+                        // insertion (batch-dynamic consumers can lower
+                        // supports between pops); buckets below the cursor
+                        // are exhausted, so the id is due now, at the
+                        // frontier — re-filing it into the cursor bucket
+                        // would re-scan it forever.
+                        Some(p) if p <= value && claim(id).is_some() => {
                             batch.push(id);
                         }
                         Some(p) => {
-                            // Re-file at its true position (p > value can't
-                            // happen for decreasing priorities; p < value
-                            // can't happen either since value is the
-                            // frontier — but re-file defensively).
+                            // p > value: the priority rose (lazy inserts
+                            // plus dynamic support increases); re-file at
+                            // its true bucket — or overflow — where a
+                            // later pop will find it.
                             self.insert(id, p);
                         }
                     }
@@ -280,6 +288,123 @@ mod tests {
     #[test]
     fn empty_queue() {
         let mut q = BucketQueue::new(4, &[]);
+        assert_eq!(q.pop_min_batch(|_| None, |_| None), None);
+    }
+
+    #[test]
+    fn all_overflow_entries_stale_terminates() {
+        // Every id sits in overflow and every peek says "dead": the window
+        // advance must conclude the queue is drained, not spin or panic.
+        let pri = vec![0, 1000, 2000, 3000];
+        let mut q = BucketQueue::new(4, &pri);
+        assert_eq!(q.overflow_len(), 3);
+        // Claim/peek treat only id 0 as alive.
+        let claimed = std::cell::Cell::new(false);
+        let got = q.pop_min_batch(
+            |id| {
+                (id == 0 && !claimed.get()).then(|| {
+                    claimed.set(true);
+                    0
+                })
+            },
+            |id| (id == 0 && !claimed.get()).then_some(0),
+        );
+        assert_eq!(got, Some((0, vec![0])));
+        // The remaining ids are all stale overflow entries.
+        assert_eq!(q.pop_min_batch(|_| None, |_| None), None);
+        assert_eq!(q.overflow_len(), 0, "stale overflow entries are dropped");
+    }
+
+    #[test]
+    fn priority_at_last_open_bucket_stays_in_window() {
+        // base = 10, num_open = 4: the open window is [10, 14). A priority
+        // of exactly base + num_open - 1 = 13 is the last in-window slot;
+        // 14 is the first overflow value.
+        let pri = vec![10, 13, 14];
+        let q = BucketQueue::new(4, &pri);
+        assert_eq!(q.overflow_len(), 1, "only the 14 overflows");
+        let mut q = q;
+        let mut sim = Sim::new(&pri);
+        let batches = sim.drain(&mut q);
+        assert_eq!(batches, vec![(10, vec![0]), (13, vec![1]), (14, vec![2])]);
+    }
+
+    #[test]
+    fn raised_priority_refiles_to_its_true_bucket() {
+        // The dynamic layer can *increase* supports between pops (edge
+        // insertions add butterflies). A stale low entry must re-file at
+        // the raised priority — within the window or into overflow — and
+        // come out in correct order.
+        let pri = vec![2, 3];
+        let mut q = BucketQueue::new(8, &pri);
+        let mut current: HashMap<u32, u64> = [(0u32, 6u64), (1, 3)].into_iter().collect();
+        // id 0's support rose from 2 to 6 after its lazy insert at 2.
+        let mut order = Vec::new();
+        loop {
+            let cur = current.clone();
+            let claimed = std::cell::RefCell::new(Vec::<u32>::new());
+            let got = q.pop_min_batch(
+                |id| {
+                    if cur.contains_key(&id) && !claimed.borrow().contains(&id) {
+                        claimed.borrow_mut().push(id);
+                        cur.get(&id).copied()
+                    } else {
+                        None
+                    }
+                },
+                |id| {
+                    if claimed.borrow().contains(&id) {
+                        None
+                    } else {
+                        cur.get(&id).copied()
+                    }
+                },
+            );
+            match got {
+                None => break,
+                Some((v, batch)) => {
+                    for &b in &batch {
+                        current.remove(&b);
+                    }
+                    order.push((v, batch));
+                }
+            }
+        }
+        assert_eq!(order, vec![(3, vec![1]), (6, vec![0])]);
+    }
+
+    #[test]
+    fn below_frontier_priority_pops_at_the_frontier() {
+        // An entry whose true priority sank *below* the frontier bucket it
+        // sits in (possible when deletions lower supports between pops)
+        // must be claimed at the frontier instead of being re-filed into
+        // the cursor bucket — re-filing would rescan it forever.
+        let pri = vec![10, 10];
+        let mut q = BucketQueue::new(4, &pri);
+        // id 1's support dropped to 8 (below base = 10) before any pop.
+        let current: HashMap<u32, u64> = [(0u32, 10u64), (1, 8)].into_iter().collect();
+        let claimed = std::cell::RefCell::new(Vec::<u32>::new());
+        let got = q.pop_min_batch(
+            |id| {
+                if !claimed.borrow().contains(&id) {
+                    claimed.borrow_mut().push(id);
+                    current.get(&id).copied()
+                } else {
+                    None
+                }
+            },
+            |id| {
+                if claimed.borrow().contains(&id) {
+                    None
+                } else {
+                    current.get(&id).copied()
+                }
+            },
+        );
+        // Both come out in the frontier batch; the sunken id is not lost.
+        let (value, mut batch) = got.unwrap();
+        batch.sort_unstable();
+        assert_eq!((value, batch), (10, vec![0, 1]));
         assert_eq!(q.pop_min_batch(|_| None, |_| None), None);
     }
 }

@@ -14,7 +14,9 @@
 //!   Decomposition (Algorithm 4, with workload-aware dynamic scheduling);
 //! * the HUC and DGM workload optimizations (§4) — see [`Config`];
 //! * [`hierarchy`] — k-tip extraction/verification on top of tip numbers;
-//! * [`wing`] — the §7 extension to wing (edge) decomposition.
+//! * [`wing`] — the §7 extension to wing (edge) decomposition;
+//! * [`dynamic`] — incremental tip maintenance over batched edge updates
+//!   (the `tipdecomp stream` workload).
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@ pub mod bucket;
 pub mod bup;
 pub mod cd;
 pub mod config;
+pub mod dynamic;
 pub mod fd;
 pub mod fibheap;
 pub mod heap;

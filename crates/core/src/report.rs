@@ -128,6 +128,64 @@ impl CountReport {
     }
 }
 
+/// One `tipdecomp stream` run: the per-batch trajectory of an incremental
+/// tip decomposition over a stream of edge-update batches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    pub schema_version: u32,
+    /// Always `"stream"`.
+    pub kind: String,
+    /// Graph file, as given on the command line.
+    pub input: String,
+    /// Batch (ops) file.
+    pub ops: String,
+    pub side: Side,
+    pub config: Config,
+    /// Dirty fraction beyond which a batch fell back to full recompute.
+    pub dirty_threshold: f64,
+    /// Every batch was differentially checked against a from-scratch
+    /// recount + BUP re-peel (`--verify`).
+    pub verified: bool,
+    pub batches: Vec<StreamBatchReport>,
+    /// Final graph/decomposition state after the last batch.
+    pub final_num_edges: usize,
+    pub final_total_butterflies: u64,
+    pub final_theta_max: u64,
+    /// FNV-1a digest of the final tip numbers in id order.
+    pub final_tip_checksum: u64,
+}
+
+/// One batch of a `stream` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamBatchReport {
+    /// 0-based batch index.
+    pub batch: usize,
+    pub inserted: usize,
+    pub deleted: usize,
+    /// No-op ops (duplicate inserts, deletes of absent edges, overridden
+    /// ops within the batch).
+    pub skipped: usize,
+    /// The batch tripped the overlay compaction threshold.
+    pub compacted: bool,
+    pub butterflies_gained: u64,
+    pub butterflies_lost: u64,
+    pub total_butterflies: u64,
+    /// Intersection steps the incremental counter spent on this batch.
+    pub update_work: u64,
+    /// Tip-update policy (`unchanged` / `seeded-repeel` /
+    /// `full-recompute`).
+    pub policy: crate::dynamic::UpdatePolicy,
+    /// Peel-side vertices on a changed butterfly.
+    pub dirty: usize,
+    pub dirty_fraction: f64,
+    /// Wedges traversed by the tip update.
+    pub peel_wedges: u64,
+    pub theta_max: u64,
+    /// FNV-1a digest of the tip numbers after this batch.
+    pub tip_checksum: u64,
+    pub time_update_secs: f64,
+}
+
 /// Canonicalizes every timing field in a parsed report so documents can be
 /// compared across runs and machines: object values under keys starting
 /// with `time_` are zeroed — `Duration` objects get `secs`/`nanos` set to

@@ -1,0 +1,147 @@
+//! Batch-dynamic differential suite: after *every* batch of a seeded
+//! insert/delete schedule over the five graph families, the incrementally
+//! maintained state must equal the from-scratch oracles on the
+//! materialized graph —
+//!
+//! * per-vertex butterfly counts vs `butterfly::count_graph`,
+//! * per-edge butterfly counts vs `butterfly::per_edge::per_edge_counts`,
+//! * tip numbers (both sides) vs `receipt::bup::bup_decompose`.
+//!
+//! The whole file is thread-count-sensitive by construction (batch
+//! enumeration fans out on the rayon pool), so CI runs it under each
+//! `RAYON_NUM_THREADS` matrix leg; `identical_and_correct_at_1_and_4_threads`
+//! additionally pins pools of 1 and 4 inside one process.
+
+use bigraph::dynamic::{seeded_schedule, EdgeOp};
+use bigraph::{builder::from_edges, gen, BipartiteCsr, Side};
+use butterfly::DynamicButterflyIndex;
+use receipt::dynamic::{DynamicTipState, UpdatePolicy};
+use receipt::Config;
+
+/// A handful of vertices share one hub plus a few private leaves.
+fn star_heavy() -> BipartiteCsr {
+    let mut edges = Vec::new();
+    for u in 0..40u32 {
+        edges.push((u, 0));
+        edges.push((u, 1 + u % 7));
+    }
+    for u in 0..8u32 {
+        edges.push((u, 8 + u));
+    }
+    from_edges(40, 16, &edges).unwrap()
+}
+
+fn families() -> Vec<(&'static str, BipartiteCsr)> {
+    vec![
+        ("star-heavy", star_heavy()),
+        (
+            "bipartite-clique",
+            gen::planted_bicliques(24, 24, 3, 5, 5, 40, 13),
+        ),
+        ("sparse-random", gen::uniform(80, 60, 200, 17)),
+        ("dense-zipf", gen::zipf(50, 35, 260, 0.6, 0.9, 29)),
+        ("preferential", gen::preferential_attachment(100, 50, 3, 23)),
+    ]
+}
+
+/// Asserts every maintained quantity against the from-scratch oracles —
+/// the same shared gate `tipdecomp stream --verify` and `repro dynamic`
+/// use (vertex counts, per-edge counts incl. stale-entry detection, tips
+/// vs BUP).
+fn assert_matches_oracles(
+    name: &str,
+    batch: usize,
+    index: &DynamicButterflyIndex,
+    states: &[&DynamicTipState],
+) {
+    if let Err(e) = receipt::dynamic::verify_against_scratch(index, states) {
+        panic!("{name} batch {batch}: {e}");
+    }
+}
+
+#[test]
+fn incremental_state_equals_from_scratch_after_every_batch() {
+    for (name, g) in families() {
+        let schedule = seeded_schedule(&g, 5, 30, 0xD15C0 ^ g.num_edges() as u64);
+        // Aggressive compaction + a mid dirty threshold: exercise overlay
+        // rebuilds and both recompute policies across the families.
+        let mut index = DynamicButterflyIndex::with_threshold(g, 0.15);
+        let config = Config::default().with_partitions(6);
+        let mut tip_u = DynamicTipState::with_threshold(&index, Side::U, config.clone(), 0.15);
+        let mut tip_v = DynamicTipState::with_threshold(&index, Side::V, config.clone(), 0.15);
+        for (i, batch) in schedule.iter().enumerate() {
+            let delta = index.apply_batch(batch);
+            tip_u.update(&index, &delta);
+            tip_v.update(&index, &delta);
+            assert_matches_oracles(name, i, &index, &[&tip_u, &tip_v]);
+        }
+    }
+}
+
+#[test]
+fn policies_and_checksums_are_exercised() {
+    // One denser run that must hit all three policies at least once
+    // across its batches (unchanged via a no-butterfly batch appended).
+    let g = gen::zipf(60, 40, 300, 0.5, 0.9, 41);
+    let mut schedule = seeded_schedule(&g, 6, 25, 47);
+    // A pendant edge to a brand-new vertex closes no butterfly.
+    schedule.push(vec![EdgeOp::Insert(1000, 999)]);
+    let mut index = DynamicButterflyIndex::new(g);
+    let mut state = DynamicTipState::with_threshold(
+        &index,
+        Side::U,
+        Config::default().with_partitions(6),
+        0.05,
+    );
+    let mut policies = Vec::new();
+    for batch in &schedule {
+        let delta = index.apply_batch(batch);
+        let update = state.update(&index, &delta);
+        policies.push(update.policy);
+        let oracle = receipt::bup::bup_decompose(&index.materialize(), Side::U, 4);
+        assert_eq!(state.tip(), &oracle.tip[..]);
+        assert_eq!(
+            receipt::dynamic::fnv1a_u64(state.tip()),
+            receipt::dynamic::fnv1a_u64(&oracle.tip),
+        );
+    }
+    assert!(policies.contains(&UpdatePolicy::Unchanged), "{policies:?}");
+    assert!(
+        policies.contains(&UpdatePolicy::SeededRepeel)
+            || policies.contains(&UpdatePolicy::FullRecompute),
+        "{policies:?}"
+    );
+}
+
+#[test]
+fn identical_and_correct_at_1_and_4_threads() {
+    // The acceptance gate: the same schedule, replayed under explicit
+    // pools of 1 and 4 workers, must produce byte-identical batch deltas
+    // and tip trajectories — and both must match the from-scratch
+    // oracles. (CI additionally runs the whole file under the
+    // RAYON_NUM_THREADS matrix.)
+    let g = gen::zipf(50, 40, 250, 0.5, 0.9, 53);
+    let schedule = seeded_schedule(&g, 4, 30, 59);
+    let run = |threads: usize| {
+        parutil::with_pool(threads, || {
+            let mut index = DynamicButterflyIndex::with_threshold(g.clone(), 0.2);
+            let mut state = DynamicTipState::with_threshold(
+                &index,
+                Side::U,
+                Config::default().with_partitions(6),
+                0.1,
+            );
+            let mut trajectory = Vec::new();
+            for (i, batch) in schedule.iter().enumerate() {
+                let delta = index.apply_batch(batch);
+                state.update(&index, &delta);
+                assert_matches_oracles("threads", i, &index, &[&state]);
+                trajectory.push((delta, state.tip().to_vec()));
+            }
+            trajectory
+        })
+    };
+    let t1 = run(1);
+    let t4 = run(4);
+    assert_eq!(t1, t4, "batch deltas or tips changed with the pool size");
+}
