@@ -16,6 +16,9 @@
 //!   wing     §7 extension: parallel vs sequential wing decomposition
 //!   dynamic  batch-dynamic maintenance: per-batch incremental update cost
 //!            vs from-scratch recount + re-peel, oracle-checked
+//!   serve    mixed read/update throughput: a writer applies the dynamic
+//!            schedule through the epoch-snapshot engine while reader
+//!            threads answer point queries from published snapshots
 //!   projection  §1 motivation: unipartite-projection blowup
 //!   smoke    small deterministic oracle-checked runs (CI / golden snapshot)
 //!   all      everything above except smoke, in order
@@ -34,8 +37,8 @@
 //!
 //! `--json` emits a versioned [`receipt_bench::report::ReproReport`]
 //! document instead of text (supported for `table2`, `table3`, `wing`,
-//! `dynamic`, `smoke` — the figure experiments are timing curves with no
-//! structured content beyond what table3 already covers). Every JSON document carries
+//! `dynamic`, `serve`, `smoke` — the figure experiments are timing curves
+//! with no structured content beyond what table3 already covers). Every JSON document carries
 //! a `scheduler` section (work-stealing counters; `smoke` first drives a
 //! deterministic fork-join workload through the pool so the section
 //! reflects nested-parallel scheduling even though the smoke graphs are
@@ -97,7 +100,7 @@ fn main() {
         let report = match build_json(&what) {
             Some(report) => report,
             None if KNOWN_EXPERIMENTS.contains(&what.as_str()) => fail(&format!(
-                "`{what}` has no JSON form; supported: table2, table3, wing, dynamic, smoke"
+                "`{what}` has no JSON form; supported: table2, table3, wing, dynamic, serve, smoke"
             )),
             None => fail(&format!(
                 "unknown experiment `{what}`; see --help in the module docs"
@@ -132,6 +135,7 @@ fn main() {
         "fig11" => fig10_fig11(Side::V),
         "wing" => wing_extension(),
         "dynamic" => dynamic_experiment(),
+        "serve" => serve_experiment(),
         "projection" => projection_motivation(),
         "smoke" => smoke(),
         "all" => {
@@ -147,6 +151,7 @@ fn main() {
             fig10_fig11(Side::V);
             wing_extension();
             dynamic_experiment();
+            serve_experiment();
             projection_motivation();
         }
         other => fail(&format!(
@@ -168,10 +173,16 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "fig11",
     "wing",
     "dynamic",
+    "serve",
     "projection",
     "smoke",
     "all",
 ];
+
+/// Reader-thread count of the `serve` experiment (fixed so the
+/// machine-independent rows are comparable across runs; the telemetry
+/// section absorbs the machine-dependent part).
+const SERVE_READERS: usize = 4;
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -194,6 +205,7 @@ fn build_json(what: &str) -> Option<ReproReport> {
         "table3" => report.table3 = Some(table3_rows()),
         "wing" => report.wing = Some(wing_rows()),
         "dynamic" => report.dynamic = Some(dynamic_rows()),
+        "serve" => report.serve = Some(serve_report(SERVE_READERS)),
         "smoke" => {
             report.smoke = Some(smoke_report());
             // The smoke graphs are deliberately tiny, so drive one
@@ -643,6 +655,55 @@ fn dynamic_experiment() {
         );
     }
     println!("(W = wedge/intersection work; every row recount- and BUP-verified)");
+}
+
+/// Mixed read/update throughput through the epoch-snapshot engine.
+fn serve_experiment() {
+    header("serve: mixed read/update throughput through the epoch-snapshot engine");
+    let report = serve_report(SERVE_READERS);
+    println!(
+        "{} with {} reader thread(s); every batch verified before publication",
+        report.family, report.readers
+    );
+    println!(
+        "{:>6} {:>5} {:>5} {:>7} {:>7} {:>9} {:>8} {:>8} {:>10} {:>10}",
+        "epoch",
+        "+ins",
+        "-del",
+        "gained",
+        "lost",
+        "total_bf",
+        "thmaxU",
+        "thmaxV",
+        "t_upd(s)",
+        "t_ver(s)"
+    );
+    for r in &report.batches {
+        println!(
+            "{:>6} {:>5} {:>5} {:>7} {:>7} {:>9} {:>8} {:>8} {:>10.4} {:>10.4}",
+            r.epoch,
+            r.inserted,
+            r.deleted,
+            r.butterflies_gained,
+            r.butterflies_lost,
+            r.total_butterflies,
+            r.theta_max_u,
+            r.theta_max_v,
+            r.time_update_secs,
+            r.time_verify_secs,
+        );
+    }
+    let t = report.serve_telemetry.as_ref().expect("telemetry present");
+    println!(
+        "readers completed {} consistent rounds over {} epoch(s) in {:.3}s ({:.0} reads/s); \
+         final epoch {} verified = {}",
+        t.reads_total,
+        t.epochs_observed,
+        t.time_session_secs,
+        t.reads_per_sec,
+        report.final_epoch,
+        report.final_verified,
+    );
 }
 
 /// `smoke`: the oracle-checked CI workload, in human-readable form.

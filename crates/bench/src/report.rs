@@ -25,6 +25,7 @@ pub struct ReproReport {
     pub table3: Option<Vec<Table3Row>>,
     pub wing: Option<Vec<WingRow>>,
     pub dynamic: Option<Vec<DynamicRow>>,
+    pub serve: Option<ServeExperimentReport>,
     pub smoke: Option<SmokeReport>,
     /// Cumulative work-stealing scheduler counters at the end of the run.
     /// Nondeterministic (OS-scheduling-dependent), so snapshot/diff
@@ -43,6 +44,7 @@ impl ReproReport {
             table3: None,
             wing: None,
             dynamic: None,
+            serve: None,
             smoke: None,
             scheduler: None,
         }
@@ -166,6 +168,62 @@ pub struct DynamicRow {
     pub tips_match_bup: bool,
     pub time_update_secs: f64,
     pub time_recount_secs: f64,
+}
+
+/// The `repro serve` experiment: a scripted mixed read/update session
+/// against an in-process [`receipt::engine::StreamEngine`] — one writer
+/// thread applies a seeded batch schedule (every batch differentially
+/// verified) while reader threads hammer point queries against the
+/// published snapshots. The per-epoch rows are machine-independent (the
+/// decomposition trajectory does not depend on reader interleaving); the
+/// throughput side lives in [`ServeTelemetry`], which
+/// `receipt::report::scrub_scheduler` nulls for snapshot/diff consumers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeExperimentReport {
+    pub family: String,
+    /// Concurrent reader threads querying while the writer applied batches.
+    pub readers: usize,
+    pub batches: Vec<ServeBatchRow>,
+    /// Final state passed `verify_against_scratch` after the session.
+    pub final_verified: bool,
+    pub final_epoch: u64,
+    pub final_total_butterflies: u64,
+    /// Nondeterministic throughput counters (reader-interleaving- and
+    /// machine-dependent) — scrubbed by `scrub_scheduler`, asserted on by
+    /// the run itself instead.
+    pub serve_telemetry: Option<ServeTelemetry>,
+}
+
+/// One verified batch of the `repro serve` writer, keyed by the epoch it
+/// published. Everything here must be identical across thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBatchRow {
+    pub epoch: u64,
+    pub inserted: usize,
+    pub deleted: usize,
+    pub butterflies_gained: u64,
+    pub butterflies_lost: u64,
+    pub total_butterflies: u64,
+    pub theta_max_u: u64,
+    pub theta_max_v: u64,
+    pub tip_checksum_u: u64,
+    pub tip_checksum_v: u64,
+    pub time_update_secs: f64,
+    pub time_verify_secs: f64,
+}
+
+/// Reader-side throughput of one `repro serve` session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeTelemetry {
+    /// Snapshot-grab-plus-query rounds completed across all readers.
+    pub reads_total: u64,
+    pub reads_per_reader: Vec<u64>,
+    /// Distinct epochs readers observed (≥ 1; ≤ batches + 1).
+    pub epochs_observed: usize,
+    /// Reader consistency checks that failed (must be 0; also asserted).
+    pub inconsistencies: u64,
+    pub time_session_secs: f64,
+    pub reads_per_sec: f64,
 }
 
 /// `repro smoke`: small deterministic runs cross-checked against the

@@ -2,10 +2,12 @@
 //! structured row builders, and row formatting for the `repro` harness.
 
 use crate::report::{
-    SchedulerReport, SmokeReport, SmokeTipRun, SmokeWingRun, Table2Row, Table3Row, WingRow,
+    SchedulerReport, ServeBatchRow, ServeExperimentReport, ServeTelemetry, SmokeReport,
+    SmokeTipRun, SmokeWingRun, Table2Row, Table3Row, WingRow,
 };
 use bigraph::{datasets::AnalogSpec, stats, BipartiteCsr, Side};
 use rayon::prelude::*;
+use receipt::engine::{EngineOptions, StreamEngine};
 use receipt::{bup::BaselineResult, Config, TipDecomposition};
 use std::time::Duration;
 
@@ -285,60 +287,170 @@ pub fn dynamic_workloads() -> Vec<(&'static str, BipartiteCsr, usize, usize, u64
     ]
 }
 
-/// `repro dynamic` rows: apply each family's schedule batch by batch,
-/// maintaining butterfly counts and tips incrementally, and price every
-/// batch against the from-scratch pipeline (parallel recount + BUP peel)
-/// on the materialized graph. Panics if the incremental state diverges
-/// from the from-scratch oracles — the differential equality is the
-/// experiment's premise, exactly like `table3_rows`.
+/// `repro dynamic` rows: drive each family's schedule through a verifying
+/// [`StreamEngine`] — the same epoch-snapshot layer behind `tipdecomp
+/// stream`/`serve` — and price every batch against the from-scratch
+/// pipeline (parallel recount + BUP re-peel on both sides) that the
+/// engine's `verify` mode already runs. Panics if the incremental state
+/// diverges from the from-scratch oracles — the differential equality is
+/// the experiment's premise, exactly like `table3_rows`.
 pub fn dynamic_rows() -> Vec<crate::report::DynamicRow> {
-    use receipt::dynamic::DynamicTipState;
-
     let mut rows = Vec::new();
     for (family, graph, batches, ops, seed, dirty_threshold) in dynamic_workloads() {
         let schedule = bigraph::dynamic::seeded_schedule(&graph, batches, ops, seed);
-        let mut index = butterfly::DynamicButterflyIndex::new(graph);
-        let mut state = DynamicTipState::with_threshold(
-            &index,
-            Side::U,
-            Config::default().with_partitions(8),
-            dirty_threshold,
+        let engine = StreamEngine::new(
+            graph,
+            EngineOptions {
+                config: Config::default().with_partitions(8),
+                dirty_threshold,
+                verify: true,
+                ..EngineOptions::default()
+            },
         );
         for (batch_idx, batch) in schedule.iter().enumerate() {
-            let t0 = std::time::Instant::now();
-            let delta = index.apply_batch(batch);
-            let update = state.update(&index, &delta);
-            let time_update = t0.elapsed();
-
-            // The shared differential gate doubles as the from-scratch
-            // pipeline being priced (full recount + BUP re-peel).
-            let t1 = std::time::Instant::now();
-            let scratch = receipt::dynamic::verify_against_scratch(&index, &[&state])
+            let outcome = engine
+                .apply_batch(batch)
                 .unwrap_or_else(|e| panic!("{family} batch {batch_idx}: {e}"));
-            let time_recount = t1.elapsed();
-
+            let scratch = outcome.scratch.as_ref().expect("verifying engine");
+            let update = outcome.update(Side::U);
+            let snap = &outcome.snapshot;
             rows.push(crate::report::DynamicRow {
                 family: family.to_string(),
                 batch: batch_idx,
-                inserted: delta.application.inserted.len(),
-                deleted: delta.application.deleted.len(),
-                butterflies_gained: delta.gained,
-                butterflies_lost: delta.lost,
-                total_butterflies: index.total_butterflies(),
-                update_work: delta.work,
+                inserted: outcome.delta.application.inserted.len(),
+                deleted: outcome.delta.application.deleted.len(),
+                butterflies_gained: outcome.delta.gained,
+                butterflies_lost: outcome.delta.lost,
+                total_butterflies: snap.total_butterflies(),
+                update_work: outcome.delta.work,
                 recount_work: scratch.counts.wedges_traversed + scratch.peel_wedges,
                 policy: update.policy,
                 dirty_fraction: update.dirty_fraction,
-                theta_max: state.theta_max(),
-                tip_checksum: fnv1a_u64(state.tip()),
+                theta_max: snap.theta_max(Side::U),
+                tip_checksum: snap.tip_checksum(Side::U),
                 counts_match_recount: true,
                 tips_match_bup: true,
-                time_update_secs: time_update.as_secs_f64(),
-                time_recount_secs: time_recount.as_secs_f64(),
+                time_update_secs: outcome.time.as_secs_f64(),
+                time_recount_secs: outcome.time_verify.expect("verifying engine").as_secs_f64(),
             });
         }
     }
     rows
+}
+
+/// `repro serve`: mixed read/update throughput against one in-process
+/// [`StreamEngine`]. A writer thread applies the zipf family's seeded
+/// schedule (every batch differentially verified before publication)
+/// while `readers` threads loop grabbing the published snapshot and
+/// answering point queries from it, each round checked for internal
+/// consistency with that snapshot's epoch. Panics on any divergence.
+pub fn serve_report(readers: usize) -> ServeExperimentReport {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let (family, graph, batches, ops, seed, dirty_threshold) = dynamic_workloads().remove(0);
+    let schedule = bigraph::dynamic::seeded_schedule(&graph, batches, ops, seed);
+    let engine = StreamEngine::new(
+        graph,
+        EngineOptions {
+            config: Config::default().with_partitions(8),
+            dirty_threshold,
+            verify: true,
+            ..EngineOptions::default()
+        },
+    );
+
+    let stop = AtomicBool::new(false);
+    let inconsistencies = AtomicU64::new(0);
+    let t0 = std::time::Instant::now();
+    let mut rows: Vec<ServeBatchRow> = Vec::with_capacity(schedule.len());
+    let mut reads_per_reader: Vec<u64> = vec![0; readers];
+    let mut epochs_observed = std::collections::BTreeSet::new();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let engine = &engine;
+                let stop = &stop;
+                let inconsistencies = &inconsistencies;
+                scope.spawn(move || {
+                    let mut reads = 0u64;
+                    let mut seen = std::collections::BTreeSet::new();
+                    let mut probe = r as u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = engine.snapshot();
+                        seen.insert(snap.epoch());
+                        // Each round answers the serve-mode point-query mix
+                        // from ONE snapshot; the invariants tie every
+                        // answer to that snapshot's single epoch.
+                        let total = snap.total_butterflies();
+                        let nu = snap.num_side(Side::U) as u32;
+                        let sum_u: u64 = snap.counts_side(Side::U).iter().sum();
+                        let tip_ok = snap.tip(Side::U, probe % nu).is_some();
+                        let top = snap.top_k_densest(Side::U, 4);
+                        let top_ok = top.first().is_none_or(|d| d.tip == snap.theta_max(Side::U));
+                        if sum_u != 2 * total || !tip_ok || !top_ok {
+                            inconsistencies.fetch_add(1, Ordering::Relaxed);
+                        }
+                        probe = probe.wrapping_add(7);
+                        reads += 1;
+                    }
+                    (reads, seen)
+                })
+            })
+            .collect();
+
+        for (batch_idx, batch) in schedule.iter().enumerate() {
+            let outcome = engine
+                .apply_batch(batch)
+                .unwrap_or_else(|e| panic!("{family} batch {batch_idx}: {e}"));
+            let snap = &outcome.snapshot;
+            rows.push(ServeBatchRow {
+                epoch: outcome.epoch,
+                inserted: outcome.delta.application.inserted.len(),
+                deleted: outcome.delta.application.deleted.len(),
+                butterflies_gained: outcome.delta.gained,
+                butterflies_lost: outcome.delta.lost,
+                total_butterflies: snap.total_butterflies(),
+                theta_max_u: snap.theta_max(Side::U),
+                theta_max_v: snap.theta_max(Side::V),
+                tip_checksum_u: snap.tip_checksum(Side::U),
+                tip_checksum_v: snap.tip_checksum(Side::V),
+                time_update_secs: outcome.time.as_secs_f64(),
+                time_verify_secs: outcome.time_verify.expect("verifying engine").as_secs_f64(),
+            });
+        }
+        stop.store(true, Ordering::Relaxed);
+        for (r, handle) in handles.into_iter().enumerate() {
+            let (reads, seen) = handle.join().expect("reader thread");
+            reads_per_reader[r] = reads;
+            epochs_observed.extend(seen);
+        }
+    });
+    let time_session = t0.elapsed().as_secs_f64();
+
+    let final_verified = engine
+        .verify_against_scratch()
+        .map(|_| true)
+        .unwrap_or_else(|e| panic!("{family} final verify: {e}"));
+    let bad = inconsistencies.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(bad, 0, "{family}: {bad} inconsistent reader round(s)");
+    let reads_total: u64 = reads_per_reader.iter().sum();
+    ServeExperimentReport {
+        family: family.to_string(),
+        readers,
+        batches: rows,
+        final_verified,
+        final_epoch: engine.epoch(),
+        final_total_butterflies: engine.snapshot().total_butterflies(),
+        serve_telemetry: Some(ServeTelemetry {
+            reads_total,
+            reads_per_reader,
+            epochs_observed: epochs_observed.len(),
+            inconsistencies: bad,
+            time_session_secs: time_session,
+            reads_per_sec: reads_total as f64 / time_session.max(1e-9),
+        }),
+    }
 }
 
 /// `repro smoke`: seconds-scale deterministic runs on small generated

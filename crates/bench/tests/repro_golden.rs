@@ -1,9 +1,9 @@
-//! Golden-snapshot tests for `repro smoke --json` and
-//! `repro dynamic --json`.
+//! Golden-snapshot tests for `repro smoke --json`, `repro dynamic --json`,
+//! and `repro serve --json`.
 //!
 //! Runs the real harness binary, scrubs timings, and pins the documents
-//! against `tests/golden/repro_{smoke,dynamic}.json` at the repository
-//! root. Refresh after an intentional change with:
+//! against `tests/golden/repro_{smoke,dynamic,serve}.json` at the
+//! repository root. Refresh after an intentional change with:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test -p receipt-bench --test repro_golden
@@ -68,6 +68,35 @@ fn smoke_json_matches_golden() {
 #[test]
 fn dynamic_json_matches_golden() {
     assert_matches_golden("dynamic", "repro_dynamic.json");
+}
+
+#[test]
+fn serve_json_matches_golden() {
+    // Timings and the reader-throughput telemetry are the only
+    // machine-dependent content; `scrub_timings` + `scrub_scheduler`
+    // (which also nulls `serve_telemetry`) canonicalize both.
+    assert_matches_golden("serve", "repro_serve.json");
+}
+
+#[test]
+fn serve_report_confirms_consistency() {
+    let doc = run_repro_json("serve");
+    let report: receipt_bench::report::ReproReport = serde_json::from_str(&doc).unwrap();
+    assert_eq!(report.experiment, "serve");
+    let serve = report.serve.expect("serve section populated");
+    assert!(serve.final_verified);
+    assert!(!serve.batches.is_empty());
+    assert_eq!(serve.final_epoch, serve.batches.len() as u64);
+    for (i, row) in serve.batches.iter().enumerate() {
+        assert_eq!(row.epoch, i as u64 + 1, "epochs count batches");
+    }
+    let t = serve
+        .serve_telemetry
+        .expect("telemetry present in live runs");
+    assert_eq!(t.inconsistencies, 0);
+    assert!(t.reads_total > 0, "readers must have completed rounds");
+    assert_eq!(t.reads_per_reader.len(), serve.readers);
+    assert!(t.epochs_observed >= 1 && t.epochs_observed <= serve.batches.len() + 1);
 }
 
 #[test]

@@ -130,6 +130,22 @@ impl BipartiteCsr {
         self.neighbors_u(u).binary_search(&v).is_ok()
     }
 
+    /// Edge id of `(u, v)` in U-side CSR order (`u_offsets[u]` + position
+    /// of `v` within the sorted `N(u)`), or `None` if the edge is absent.
+    /// This is the same id space as [`Self::edges`] enumeration order and
+    /// the per-edge counting kernels, so flat per-edge arrays indexed by it
+    /// need no hashing.
+    pub fn edge_index(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        if u as usize >= self.num_u() {
+            return None;
+        }
+        let offset = self.u_offsets[u as usize];
+        self.neighbors_u(u)
+            .binary_search(&v)
+            .ok()
+            .map(|pos| offset + pos)
+    }
+
     /// The view that peels `side` (treats it as the paper's `U`).
     pub fn view(&self, side: Side) -> SideGraph<'_> {
         SideGraph { csr: self, side }

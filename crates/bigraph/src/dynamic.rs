@@ -104,6 +104,14 @@ impl DynamicBigraph {
         }
     }
 
+    /// The last compacted CSR the overlay is relative to. Incremental
+    /// layers align flat per-edge state with this graph's edge ids
+    /// ([`BipartiteCsr::edge_index`]); the alignment stays valid exactly
+    /// until the next [`Self::compact`].
+    pub fn base(&self) -> &BipartiteCsr {
+        &self.base
+    }
+
     pub fn num_u(&self) -> usize {
         self.num_u
     }
@@ -211,7 +219,24 @@ impl DynamicBigraph {
     /// Classifies a batch via [`Self::classify_batch`] and applies it.
     /// Side sizes grow to cover every effectively-inserted id.
     pub fn apply_batch(&mut self, ops: &[EdgeOp]) -> BatchApplication {
+        let mut result = self.apply_ops(ops);
+        if self.needs_compaction() {
+            self.compact();
+            result.compacted = true;
+        }
+        result
+    }
+
+    /// [`Self::apply_batch`] without the threshold-triggered compaction:
+    /// the overlay absorbs the batch and the base CSR (and therefore every
+    /// [`BipartiteCsr::edge_index`] alignment) is left untouched.
+    /// Incremental layers that keep base-aligned flat state apply the
+    /// batch through this, patch their state, then check
+    /// [`Self::needs_compaction`] and realign across an explicit
+    /// [`Self::compact`].
+    pub fn apply_ops(&mut self, ops: &[EdgeOp]) -> BatchApplication {
         let mut result = self.classify_batch(ops);
+        result.compacted = false;
         for &(u, v) in &result.inserted {
             self.num_u = self.num_u.max(u as usize + 1);
             self.num_v = self.num_v.max(v as usize + 1);
@@ -220,12 +245,14 @@ impl DynamicBigraph {
         for &(u, v) in &result.deleted {
             self.delete_edge(u, v);
         }
-        let budget = self.compact_threshold * self.base.num_edges() as f64;
-        if self.overlay_len() > 0 && self.overlay_len() as f64 > budget {
-            self.compact();
-            result.compacted = true;
-        }
         result
+    }
+
+    /// The overlay has outgrown the compaction budget
+    /// (`threshold · base edges`).
+    pub fn needs_compaction(&self) -> bool {
+        let budget = self.compact_threshold * self.base.num_edges() as f64;
+        self.overlay_len() > 0 && self.overlay_len() as f64 > budget
     }
 
     fn insert_edge(&mut self, u: VertexId, v: VertexId) {

@@ -61,14 +61,29 @@ impl BatchDelta {
 
 /// Butterfly counts (per vertex, per edge, and total) maintained across
 /// batched updates of the underlying graph.
+///
+/// Per-edge counts live in a flat array aligned with the base CSR's edge
+/// ids ([`BipartiteCsr::edge_index`]) — hub-heavy batches touch the same
+/// edges over and over, and the flat array turns that hash traffic into
+/// indexed stores. Only edges the overlay added since the last compaction
+/// fall back to a (small, overlay-bounded) hash map; each compaction folds
+/// them into a freshly aligned array.
 #[derive(Debug, Clone)]
 pub struct DynamicButterflyIndex {
     graph: DynamicBigraph,
     counts_u: Vec<u64>,
     counts_v: Vec<u64>,
-    /// Butterfly count per present edge; edges in no butterfly are absent
-    /// (reads default to 0).
-    edge_counts: HashMap<(VertexId, VertexId), u64>,
+    /// Butterfly count per base-CSR edge, indexed by
+    /// `graph.base().edge_index(u, v)`. Entries for overlay-removed edges
+    /// are 0 by the maintenance invariant (a deleted edge keeps no
+    /// butterflies).
+    base_edge_counts: Vec<u64>,
+    /// Nonzero entries of `base_edge_counts`, maintained across patches so
+    /// [`Self::tracked_edges`] needs no scan.
+    nonzero_base: usize,
+    /// Butterfly counts of overlay-added edges (not in the base CSR);
+    /// edges in no butterfly are absent (reads default to 0).
+    overlay_edge_counts: HashMap<(VertexId, VertexId), u64>,
     total: u64,
     /// Cumulative enumeration work across all batches.
     work: u64,
@@ -84,13 +99,16 @@ impl DynamicButterflyIndex {
     /// `threshold` is the overlay compaction knob of [`DynamicBigraph`].
     pub fn with_threshold(base: BipartiteCsr, threshold: f64) -> Self {
         let counts = crate::par_count_graph(&base);
-        let per_edge = crate::per_edge::par_per_edge_counts(base.view(Side::U));
-        let edge_counts = base.edges().zip(per_edge).filter(|&(_, c)| c > 0).collect();
+        // Already CSR-edge-id-aligned — the kernel's output order is the
+        // flat array's index space.
+        let base_edge_counts = crate::per_edge::par_per_edge_counts(base.view(Side::U));
         DynamicButterflyIndex {
             total: counts.total(),
             counts_u: counts.u,
             counts_v: counts.v,
-            edge_counts,
+            nonzero_base: base_edge_counts.iter().filter(|&&c| c > 0).count(),
+            base_edge_counts,
+            overlay_edge_counts: HashMap::new(),
             graph: DynamicBigraph::with_threshold(base, threshold),
             work: 0,
         }
@@ -129,8 +147,15 @@ impl DynamicButterflyIndex {
     }
 
     /// Butterfly count of edge `(u, v)`; 0 if absent or butterfly-free.
+    /// Base edges are an indexed load; only overlay-added edges hash.
     pub fn edge_count(&self, u: VertexId, v: VertexId) -> u64 {
-        self.edge_counts.get(&(u, v)).copied().unwrap_or(0)
+        if let Some(&c) = self.overlay_edge_counts.get(&(u, v)) {
+            return c;
+        }
+        self.graph
+            .base()
+            .edge_index(u, v)
+            .map_or(0, |eid| self.base_edge_counts[eid])
     }
 
     /// Number of edges currently holding a nonzero maintained count.
@@ -138,14 +163,14 @@ impl DynamicButterflyIndex {
     /// count so a stale entry for a deleted edge cannot hide (the
     /// per-present-edge comparison alone would never visit it).
     pub fn tracked_edges(&self) -> usize {
-        self.edge_counts.len()
+        self.nonzero_base + self.overlay_edge_counts.len()
     }
 
     /// Applies one batch and patches all maintained counts.
     pub fn apply_batch(&mut self, ops: &[EdgeOp]) -> BatchDelta {
         // The graph's own classification (last op per edge wins), taken
         // against the pre-batch state so losses can be enumerated before
-        // the graph mutates. `DynamicBigraph::apply_batch` re-runs the
+        // the graph mutates. `DynamicBigraph::apply_ops` re-runs the
         // same `classify_batch`, so both views agree by construction.
         let pre = self.graph.classify_batch(ops);
 
@@ -153,7 +178,10 @@ impl DynamicButterflyIndex {
         // edge, charged to the lowest-indexed deleted edge they contain.
         let (lost_lists, lost_work) = enumerate_changed(&self.graph, &pre.deleted);
 
-        let application = self.graph.apply_batch(ops);
+        // Compaction is deferred until after patching: the flat per-edge
+        // array is indexed by *current* base edge ids, and `apply_ops`
+        // leaves the base untouched.
+        let mut application = self.graph.apply_ops(ops);
         debug_assert_eq!(application.inserted, pre.inserted);
         debug_assert_eq!(application.deleted, pre.deleted);
         // Sides may have grown; new vertices start butterfly-free.
@@ -172,8 +200,11 @@ impl DynamicButterflyIndex {
             lost += 1;
         }
         for &(u, v) in &application.deleted {
-            let stale = self.edge_counts.remove(&(u, v)).unwrap_or(0);
-            debug_assert_eq!(stale, 0, "deleted edge ({u}, {v}) kept butterflies");
+            debug_assert_eq!(
+                self.edge_count(u, v),
+                0,
+                "deleted edge ({u}, {v}) kept butterflies"
+            );
         }
         let mut gained = 0u64;
         for bf in gained_lists.iter().flatten() {
@@ -183,6 +214,11 @@ impl DynamicButterflyIndex {
         self.total = self.total + gained - lost;
         let work = lost_work + gained_work;
         self.work += work;
+
+        if self.graph.needs_compaction() {
+            self.compact_and_realign();
+            application.compacted = true;
+        }
 
         dirty_u.sort_unstable();
         dirty_u.dedup();
@@ -215,12 +251,47 @@ impl DynamicButterflyIndex {
             dirty_v.push(y);
         }
         for e in [(u, v), (u, v2), (u2, v), (u2, v2)] {
-            let entry = self.edge_counts.entry(e).or_insert(0);
-            *entry = entry.wrapping_add_signed(sign);
-            if *entry == 0 {
-                self.edge_counts.remove(&e);
+            match self.graph.base().edge_index(e.0, e.1) {
+                Some(eid) => {
+                    let before = self.base_edge_counts[eid];
+                    let after = before.wrapping_add_signed(sign);
+                    self.base_edge_counts[eid] = after;
+                    if before == 0 && after != 0 {
+                        self.nonzero_base += 1;
+                    } else if before != 0 && after == 0 {
+                        self.nonzero_base -= 1;
+                    }
+                }
+                None => {
+                    let entry = self.overlay_edge_counts.entry(e).or_insert(0);
+                    *entry = entry.wrapping_add_signed(sign);
+                    if *entry == 0 {
+                        self.overlay_edge_counts.remove(&e);
+                    }
+                }
             }
         }
+    }
+
+    /// Folds the overlay into a new base CSR and realigns the flat
+    /// per-edge array with the rebuilt edge-id space. Counts are carried
+    /// across keyed by endpoint pair; every nonzero count belongs to a
+    /// present edge, so all of them land in the new base.
+    fn compact_and_realign(&mut self) {
+        let mut saved = std::mem::take(&mut self.overlay_edge_counts);
+        for ((u, v), &c) in self.graph.base().edges().zip(self.base_edge_counts.iter()) {
+            if c > 0 {
+                saved.insert((u, v), c);
+            }
+        }
+        self.graph.compact();
+        self.base_edge_counts = self
+            .graph
+            .base()
+            .edges()
+            .map(|e| saved.get(&e).copied().unwrap_or(0))
+            .collect();
+        self.nonzero_base = saved.len();
     }
 }
 

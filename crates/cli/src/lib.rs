@@ -4,8 +4,10 @@
 //! unit-testable; `main.rs` is a thin shim.
 
 use bigraph::{BipartiteCsr, Side};
+use receipt::engine::{EngineOptions, StreamEngine};
+use receipt::report::{ServeResponse, ServeSessionReport, ServeStats, TopKEntry};
 use receipt::{hierarchy, Config};
-use std::io::Write;
+use std::io::{BufRead, Write};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +49,22 @@ pub enum Command {
         output: Option<String>,
         json: bool,
     },
+    /// `serve <input> [--dirty-threshold F] [--compact-threshold F]
+    /// [--verify] [--requests FILE] [--socket PATH] [--output FILE]`
+    Serve {
+        input: String,
+        config: Config,
+        dirty_threshold: f64,
+        compact_threshold: f64,
+        verify: bool,
+        /// Scripted session: newline-delimited JSON requests; the run
+        /// emits one `serve-session` report document instead of framing.
+        requests: Option<String>,
+        /// Speak the framed protocol over a Unix socket instead of
+        /// stdin/stdout.
+        socket: Option<String>,
+        output: Option<String>,
+    },
     /// `ktips <input> -k N [--side U|V]`
     KTips {
         input: String,
@@ -73,6 +91,7 @@ impl Command {
             Command::Wing { .. } => "wing",
             Command::Count { .. } => "count",
             Command::Stream { .. } => "stream",
+            Command::Serve { .. } => "serve",
             Command::KTips { .. } => "ktips",
             Command::Stats { .. } => "stats",
             Command::Generate { .. } => "generate",
@@ -104,6 +123,9 @@ USAGE:
   tipdecomp stream <edges.tsv> <ops.txt> [--side U|V] [--dirty-threshold F]
                               [--compact-threshold F] [--verify]
                               [--output FILE] [--json]
+  tipdecomp serve <edges.tsv> [--dirty-threshold F] [--compact-threshold F]
+                              [--verify] [--requests FILE] [--socket PATH]
+                              [--output FILE]
   tipdecomp ktips <edges.tsv> -k N [--side U|V]
   tipdecomp stats <edges.tsv>
   tipdecomp generate <It|De|Or|Lj|En|Tr> [--output FILE]
@@ -116,7 +138,15 @@ blank lines separate batches. Ops share the graph file's id base (a
 1-based graph file means 1-based ops). Each batch updates butterfly
 counts incrementally and re-peels per the dirty-fraction policy;
 `--verify` additionally checks every batch against a from-scratch
-recount + BUP.
+recount + BUP. Without `--output`, stream rows are flushed after every
+batch so long-running streams can be tailed (`--json` then emits one
+compact row per line followed by the full report document).
+Serve: resident epoch-snapshot engine answering point queries (tip,
+butterflies, topk, stats, epoch) and `apply` batches. Default speaks
+length-prefixed JSON frames (ASCII byte length, newline, payload) on
+stdin/stdout, `--socket` the same over a Unix socket; `--requests FILE`
+replays newline-delimited JSON requests and emits one `serve-session`
+report document. See README, \"Serve mode\".
 Output: `--json` emits a versioned report document (see README, \"JSON
 output\") instead of TSV; `--out` is an alias for `--output`.
 ";
@@ -223,6 +253,27 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 json: flag("--json"),
             })
         }
+        "serve" => {
+            let mut config = Config::default();
+            config.partitions = opt_usize("--partitions", config.partitions)?;
+            config.threads = opt_usize("--threads", 0)?;
+            Ok(Command::Serve {
+                input: positional(&rest)?,
+                config,
+                dirty_threshold: opt_f64(
+                    "--dirty-threshold",
+                    receipt::dynamic::DEFAULT_DIRTY_THRESHOLD,
+                )?,
+                compact_threshold: opt_f64(
+                    "--compact-threshold",
+                    bigraph::dynamic::DEFAULT_COMPACT_THRESHOLD,
+                )?,
+                verify: flag("--verify"),
+                requests: opt("--requests").cloned(),
+                socket: opt("--socket").cloned(),
+                output: output(),
+            })
+        }
         "ktips" => {
             let k = opt("-k")
                 .ok_or_else(|| UsageError("ktips needs -k N".into()))?
@@ -303,13 +354,14 @@ fn rebase_ops(
         .collect()
 }
 
-/// Drives a stream of batches through the incremental index + tip state,
-/// producing the versioned per-batch report. With `verify`, every batch is
-/// differentially checked against a from-scratch recount and a BUP re-peel
-/// of the materialized graph via `receipt::dynamic::verify_against_scratch`
-/// (a mismatch is a run error → exit 1). Honours `config.threads` the same
-/// way `tip_decompose` does: a nonzero value runs the whole stream inside
-/// a dedicated pool of that size.
+/// Drives a stream of batches through a [`StreamEngine`], producing the
+/// versioned per-batch report. `on_row` sees every completed batch row as
+/// soon as it exists (the incremental-emission hook: callers flush it so
+/// long streams can be tailed). With `verify`, the engine differentially
+/// checks every batch against a from-scratch recount and a BUP re-peel of
+/// the materialized graph (a mismatch is a run error → exit 1). Honours
+/// `config.threads` the same way `tip_decompose` does: a nonzero value
+/// runs the whole stream inside a dedicated pool of that size.
 #[allow(clippy::too_many_arguments)]
 fn run_stream(
     input: &str,
@@ -321,47 +373,27 @@ fn run_stream(
     dirty_threshold: f64,
     compact_threshold: f64,
     verify: bool,
+    on_row: &mut (dyn FnMut(&receipt::report::StreamBatchReport) -> Result<(), String> + Send),
 ) -> Result<receipt::report::StreamReport, String> {
-    use receipt::dynamic::fnv1a_u64;
-
     let threads = config.threads;
-    let drive = || -> Result<receipt::report::StreamReport, String> {
-        let mut index = butterfly::DynamicButterflyIndex::with_threshold(g, compact_threshold);
-        let mut state = receipt::dynamic::DynamicTipState::with_threshold(
-            &index,
-            side,
-            config.clone(),
-            dirty_threshold,
-        );
+    let options = EngineOptions {
+        config: config.clone(),
+        dirty_threshold,
+        compact_threshold,
+        verify,
+    };
+    let drive = move || -> Result<receipt::report::StreamReport, String> {
+        let engine = StreamEngine::new(g, options);
         let mut rows = Vec::with_capacity(batches.len());
         for (i, batch) in batches.iter().enumerate() {
-            let t0 = std::time::Instant::now();
-            let delta = index.apply_batch(batch);
-            let update = state.update(&index, &delta);
-            let time_update_secs = t0.elapsed().as_secs_f64();
-            if verify {
-                receipt::dynamic::verify_against_scratch(&index, &[&state])
-                    .map_err(|e| format!("batch {i}: {e}"))?;
-            }
-            rows.push(receipt::report::StreamBatchReport {
-                batch: i,
-                inserted: delta.application.inserted.len(),
-                deleted: delta.application.deleted.len(),
-                skipped: delta.application.skipped,
-                compacted: delta.application.compacted,
-                butterflies_gained: delta.gained,
-                butterflies_lost: delta.lost,
-                total_butterflies: index.total_butterflies(),
-                update_work: delta.work,
-                policy: update.policy,
-                dirty: update.dirty,
-                dirty_fraction: update.dirty_fraction,
-                peel_wedges: update.wedges,
-                theta_max: state.theta_max(),
-                tip_checksum: fnv1a_u64(state.tip()),
-                time_update_secs,
-            });
+            let outcome = engine
+                .apply_batch(batch)
+                .map_err(|e| format!("batch {i}: {e}"))?;
+            let row = receipt::report::StreamBatchReport::from_outcome(i, side, &outcome);
+            on_row(&row)?;
+            rows.push(row);
         }
+        let snapshot = engine.snapshot();
         Ok(receipt::report::StreamReport {
             schema_version: receipt::report::SCHEMA_VERSION,
             kind: "stream".to_string(),
@@ -372,10 +404,10 @@ fn run_stream(
             dirty_threshold,
             verified: verify,
             batches: rows,
-            final_num_edges: index.graph().num_edges(),
-            final_total_butterflies: index.total_butterflies(),
-            final_theta_max: state.theta_max(),
-            final_tip_checksum: fnv1a_u64(state.tip()),
+            final_num_edges: snapshot.graph().num_edges(),
+            final_total_butterflies: snapshot.total_butterflies(),
+            final_theta_max: snapshot.theta_max(side),
+            final_tip_checksum: snapshot.tip_checksum(side),
         })
     };
     if threads > 0 {
@@ -383,6 +415,256 @@ fn run_stream(
     } else {
         drive()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Serve mode: length-prefixed JSON frames over stdin/stdout or a Unix
+// socket, or a scripted newline-delimited session (`--requests`). All ids
+// on the wire share the graph file's id base, exactly like stream ops.
+
+/// Reads one length-prefixed frame: an ASCII decimal byte length, a
+/// newline, then exactly that many payload bytes. Returns `None` on clean
+/// EOF (or a blank line, which closes the session like EOF).
+pub fn read_frame(reader: &mut dyn BufRead) -> Result<Option<String>, String> {
+    let mut header = String::new();
+    let n = reader
+        .read_line(&mut header)
+        .map_err(|e| format!("serve: failed to read frame header: {e}"))?;
+    let header = header.trim();
+    if n == 0 || header.is_empty() {
+        return Ok(None);
+    }
+    let len: usize = header.parse().map_err(|_| {
+        format!("serve: frame header must be a decimal byte length, got {header:?}")
+    })?;
+    let mut payload = vec![0u8; len];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|e| format!("serve: truncated {len}-byte frame: {e}"))?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| format!("serve: frame payload is not UTF-8: {e}"))
+}
+
+/// Writes one length-prefixed frame and flushes it.
+pub fn write_frame(writer: &mut dyn Write, payload: &str) -> Result<(), String> {
+    write!(writer, "{}\n{payload}", payload.len()).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())
+}
+
+/// Reads an optional vertex-id field, shifting it down when the graph
+/// file (and therefore the wire protocol) is 1-based.
+fn req_id(value: &serde_json::Value, field: &str, one_based: bool) -> Result<Option<u32>, String> {
+    let Some(entry) = value.get(field).filter(|e| !e.is_null()) else {
+        return Ok(None);
+    };
+    let id = entry
+        .as_u64()
+        .ok_or_else(|| format!("{field} must be a non-negative integer"))?;
+    if one_based && id == 0 {
+        return Err(format!(
+            "{field} is 0 but the graph file is 1-based (ids share its base)"
+        ));
+    }
+    let id = if one_based { id - 1 } else { id };
+    u32::try_from(id)
+        .map(Some)
+        .map_err(|_| format!("{field} {id} out of range"))
+}
+
+fn req_side(value: &serde_json::Value) -> Result<Side, String> {
+    match value.get("side").and_then(|s| s.as_str()) {
+        None => Ok(Side::U),
+        Some(s) if s.eq_ignore_ascii_case("U") => Ok(Side::U),
+        Some(s) if s.eq_ignore_ascii_case("V") => Ok(Side::V),
+        Some(other) => Err(format!("side must be U or V, got {other:?}")),
+    }
+}
+
+/// Answers one serve request. `Ok((response, shutdown))` covers both
+/// well-formed answers and per-request errors (`ok: false` responses —
+/// unknown op, out-of-range vertex, absent edge); `Err` is reserved for
+/// fatal session failures, i.e. an `apply` whose in-engine differential
+/// verification diverged.
+pub fn handle_request(
+    engine: &StreamEngine,
+    one_based: bool,
+    seq: u64,
+    text: &str,
+) -> Result<(ServeResponse, bool), String> {
+    // Every query answers from ONE snapshot grabbed up front, so the
+    // response is internally consistent with a single epoch even while a
+    // writer publishes mid-request.
+    let snapshot = engine.snapshot();
+    let epoch = snapshot.epoch();
+    let fail = |op: &str, e: String| Ok((ServeResponse::error(seq, op, epoch, e), false));
+
+    let value = match serde_json::from_str_value(text) {
+        Ok(v) => v,
+        Err(e) => return fail("?", format!("unparseable request: {e}")),
+    };
+    let Some(op) = value.get("op").and_then(|v| v.as_str()).map(str::to_owned) else {
+        return fail("?", "request needs a string `op` field".into());
+    };
+
+    let has_vertex = value.get("vertex").is_some_and(|v| !v.is_null());
+    let mut response = ServeResponse::new(seq, &op, epoch);
+    match op.as_str() {
+        "tip" | "butterflies" if has_vertex || op == "tip" => {
+            let side = match req_side(&value) {
+                Ok(s) => s,
+                Err(e) => return fail(&op, e),
+            };
+            let vertex = match req_id(&value, "vertex", one_based) {
+                Ok(Some(v)) => v,
+                Ok(None) => return fail(&op, format!("{op} needs a `vertex` field")),
+                Err(e) => return fail(&op, e),
+            };
+            let answer = match op.as_str() {
+                "tip" => snapshot.tip(side, vertex),
+                _ => snapshot.vertex_butterflies(side, vertex),
+            };
+            match answer {
+                Some(v) => response.value = Some(v),
+                None => return fail(&op, format!("vertex {vertex} out of range on side {side}")),
+            }
+        }
+        "butterflies" => {
+            // Edge form: `{"op": "butterflies", "u": .., "v": ..}`.
+            let (u, v) = match (
+                req_id(&value, "u", one_based),
+                req_id(&value, "v", one_based),
+            ) {
+                (Ok(Some(u)), Ok(Some(v))) => (u, v),
+                (Err(e), _) | (_, Err(e)) => return fail(&op, e),
+                _ => {
+                    return fail(
+                        &op,
+                        "butterflies needs either `vertex` (+ optional `side`) or `u` and `v`"
+                            .into(),
+                    )
+                }
+            };
+            match snapshot.edge_butterflies(u, v) {
+                Some(c) => response.value = Some(c),
+                None => return fail(&op, format!("edge ({u}, {v}) is absent")),
+            }
+        }
+        "topk" => {
+            let side = match req_side(&value) {
+                Ok(s) => s,
+                Err(e) => return fail(&op, e),
+            };
+            let k = value.get("k").and_then(|v| v.as_u64()).unwrap_or(10) as usize;
+            let shift = u32::from(one_based);
+            response.topk = Some(
+                snapshot
+                    .top_k_densest(side, k)
+                    .into_iter()
+                    .map(|d| TopKEntry {
+                        id: d.id + shift,
+                        side,
+                        tip: d.tip,
+                        butterflies: d.butterflies,
+                    })
+                    .collect(),
+            );
+        }
+        "stats" => response.stats = Some(ServeStats::from_snapshot(&snapshot)),
+        "epoch" => response.value = Some(epoch),
+        "apply" => {
+            let Some(items) = value.get("ops").and_then(|v| v.as_array()) else {
+                return fail(
+                    &op,
+                    "apply needs an `ops` array of \"+u v\" / \"-u v\" strings".into(),
+                );
+            };
+            let mut text = String::new();
+            for item in items {
+                let Some(line) = item.as_str() else {
+                    return fail(&op, "apply ops must be strings".into());
+                };
+                // Blank entries would split batches in the file format;
+                // one request is one batch.
+                if line.trim().is_empty() {
+                    continue;
+                }
+                text.push_str(line);
+                text.push('\n');
+            }
+            let batches = match bigraph::dynamic::read_batches(text.as_bytes()) {
+                Ok(b) => b,
+                Err(e) => return fail(&op, format!("bad apply ops: {e}")),
+            };
+            let batch: Vec<bigraph::EdgeOp> = batches.into_iter().flatten().collect();
+            let batch = match rebase_ops(vec![batch], one_based, "apply request") {
+                Ok(mut b) => b.pop().unwrap_or_default(),
+                Err(e) => return fail(&op, e),
+            };
+            // A verification divergence is fatal: the engine state can no
+            // longer be trusted, so the session dies rather than `ok:
+            // false`-ing its way onward.
+            let outcome = engine
+                .apply_batch(&batch)
+                .map_err(|e| format!("apply (seq {seq}): {e}"))?;
+            response.epoch = outcome.epoch;
+            response.batch = Some(receipt::report::StreamBatchReport::from_outcome(
+                outcome.epoch as usize - 1,
+                req_side(&value).unwrap_or(Side::U),
+                &outcome,
+            ));
+        }
+        "shutdown" => return Ok((response, true)),
+        other => return fail(other, format!("unknown op {other:?}")),
+    }
+    Ok((response, false))
+}
+
+/// Serves length-prefixed frames until EOF or a `shutdown` request.
+/// Returns `true` iff the session ended with an explicit `shutdown` (so a
+/// socket server can distinguish "client went away" from "stop serving").
+pub fn serve_framed(
+    engine: &StreamEngine,
+    one_based: bool,
+    reader: &mut dyn BufRead,
+    writer: &mut dyn Write,
+) -> Result<bool, String> {
+    let mut seq = 0u64;
+    while let Some(text) = read_frame(reader)? {
+        let (response, shutdown) = handle_request(engine, one_based, seq, &text)?;
+        let payload = serde_json::to_string(&response).map_err(|e| e.to_string())?;
+        write_frame(writer, &payload)?;
+        seq += 1;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Replays a newline-delimited JSON request script (blank lines and `#`
+/// comments skipped) and returns every response in order. Stops early at
+/// `shutdown`; fails the whole session on a fatal `apply` divergence.
+pub fn run_scripted_session(
+    engine: &StreamEngine,
+    one_based: bool,
+    script: &str,
+) -> Result<Vec<ServeResponse>, String> {
+    let mut responses = Vec::new();
+    let mut seq = 0u64;
+    for line in script.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (response, shutdown) = handle_request(engine, one_based, seq, line)?;
+        responses.push(response);
+        seq += 1;
+        if shutdown {
+            break;
+        }
+    }
+    Ok(responses)
 }
 
 /// Executes a parsed command. Returns the process exit code.
@@ -503,6 +785,48 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let batches = bigraph::dynamic::read_batches(file)
                 .map_err(|e| format!("failed to read {ops}: {e}"))?;
             let batches = rebase_ops(batches, one_based, &ops)?;
+            // Without `--output`, every row is written (and flushed) the
+            // moment its batch completes so long-running streams can be
+            // tailed: TSV rows in text mode, one compact JSON row per line
+            // in `--json` mode (followed by the full report document).
+            // With `--output` the whole document is built first and
+            // written once — byte-identical to the pre-incremental format,
+            // which the golden snapshots rely on.
+            let incremental = output.is_none();
+            let mut on_row = |b: &receipt::report::StreamBatchReport| -> Result<(), String> {
+                if !incremental {
+                    return Ok(());
+                }
+                let mut out = std::io::stdout().lock();
+                if json {
+                    let line = serde_json::to_string(b).map_err(|e| e.to_string())?;
+                    writeln!(out, "{line}").map_err(|e| e.to_string())?;
+                } else {
+                    if b.batch == 0 {
+                        writeln!(
+                            out,
+                            "# batch\t+ins\t-del\tskip\tgained\tlost\ttotal_bf\tpolicy\tdirty\ttheta_max"
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                    writeln!(
+                        out,
+                        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                        b.batch,
+                        b.inserted,
+                        b.deleted,
+                        b.skipped,
+                        b.butterflies_gained,
+                        b.butterflies_lost,
+                        b.total_butterflies,
+                        b.policy.as_str(),
+                        b.dirty,
+                        b.theta_max,
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                out.flush().map_err(|e| e.to_string())
+            };
             let report = run_stream(
                 &input,
                 &ops,
@@ -513,9 +837,26 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 dirty_threshold,
                 compact_threshold,
                 verify,
+                &mut on_row,
             )?;
             if json {
-                emit_json(&report, &output)?;
+                if incremental {
+                    // Compact final document after the NDJSON rows.
+                    let mut out = std::io::stdout().lock();
+                    let line = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+                    writeln!(out, "{line}").map_err(|e| e.to_string())?;
+                } else {
+                    emit_json(&report, &output)?;
+                }
+            } else if incremental {
+                eprintln!(
+                    "{} batches; final: |E| = {}, butterflies = {}, theta_max = {}{}",
+                    report.batches.len(),
+                    report.final_num_edges,
+                    report.final_total_butterflies,
+                    report.final_theta_max,
+                    if verify { ", all batches verified" } else { "" }
+                );
             } else {
                 let mut out = sink(&output)?;
                 writeln!(
@@ -550,6 +891,87 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 );
             }
             Ok(())
+        }
+        Command::Serve {
+            input,
+            config,
+            dirty_threshold,
+            compact_threshold,
+            verify,
+            requests,
+            socket,
+            output,
+        } => {
+            // Serve shares stream's id-base rule: wire ids follow the
+            // graph file (a 1-based file means 1-based requests).
+            let (g, one_based) =
+                bigraph::io::read_graph_path_with_base(&input).map_err(|e| e.to_string())?;
+            let threads = config.threads;
+            let options = EngineOptions {
+                config,
+                dirty_threshold,
+                compact_threshold,
+                verify,
+            };
+            let drive = move || -> Result<(), String> {
+                let engine = StreamEngine::new(g, options);
+                if let Some(path) = requests {
+                    // Scripted session: replay the file, emit one report
+                    // document.
+                    let script = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("failed to read {path}: {e}"))?;
+                    let t0 = std::time::Instant::now();
+                    let responses = run_scripted_session(&engine, one_based, &script)?;
+                    let report = ServeSessionReport {
+                        schema_version: receipt::report::SCHEMA_VERSION,
+                        kind: "serve-session".to_string(),
+                        input: input.clone(),
+                        requests: path,
+                        verified: verify,
+                        responses,
+                        final_stats: ServeStats::from_snapshot(&engine.snapshot()),
+                        time_session_secs: t0.elapsed().as_secs_f64(),
+                    };
+                    return emit_json(&report, &output);
+                }
+                if let Some(path) = socket {
+                    // One connection at a time; the listener keeps
+                    // accepting until a client sends `shutdown`.
+                    use std::os::unix::net::UnixListener;
+                    let _ = std::fs::remove_file(&path);
+                    let listener = UnixListener::bind(&path)
+                        .map_err(|e| format!("cannot bind {path}: {e}"))?;
+                    eprintln!("serving on {path} (epoch {})", engine.epoch());
+                    let result = loop {
+                        let (stream, _) = match listener.accept() {
+                            Ok(pair) => pair,
+                            Err(e) => break Err(format!("accept failed: {e}")),
+                        };
+                        let mut reader =
+                            std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                        let mut writer = stream;
+                        match serve_framed(&engine, one_based, &mut reader, &mut writer) {
+                            Ok(true) => break Ok(()),
+                            Ok(false) => continue,
+                            // A client vanishing mid-session is not fatal
+                            // to the server; a verify divergence is.
+                            Err(e) if e.contains("apply") => break Err(e),
+                            Err(e) => eprintln!("session error: {e}"),
+                        }
+                    };
+                    let _ = std::fs::remove_file(&path);
+                    return result;
+                }
+                let stdin = std::io::stdin();
+                let mut reader = stdin.lock();
+                let mut writer = std::io::stdout().lock();
+                serve_framed(&engine, one_based, &mut reader, &mut writer).map(|_| ())
+            };
+            if threads > 0 {
+                parutil::with_pool(threads, drive)
+            } else {
+                drive()
+            }
         }
         Command::KTips { input, side, k } => {
             let g = load(&input)?;

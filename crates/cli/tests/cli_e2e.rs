@@ -218,7 +218,9 @@ fn stream_pipeline_on_fixture() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("all batches verified"), "{stderr}");
 
-    // JSON form decodes as a StreamReport and agrees with the text run.
+    // JSON form without --out streams NDJSON: one compact row per batch
+    // (flushed as it completes, so the stream can be tailed) followed by
+    // the full report document, and agrees with the text run.
     let out = bin()
         .args([
             "stream",
@@ -229,11 +231,16 @@ fn stream_pipeline_on_fixture() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    let report: receipt::report::StreamReport =
-        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "2 rows + final document: {stdout}");
+    let row0: receipt::report::StreamBatchReport = serde_json::from_str(lines[0]).unwrap();
+    assert_eq!(row0.butterflies_lost, 1);
+    let report: receipt::report::StreamReport = serde_json::from_str(lines[2]).unwrap();
     assert_eq!(report.batches.len(), 2);
     assert_eq!(report.batches[0].butterflies_lost, 1);
     assert!(report.final_total_butterflies >= 2);
+    assert_eq!(report.batches[0], row0, "row line matches the document");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -96,6 +96,36 @@ fn count_json_matches_golden() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A scripted serve session exercising every op, including a per-request
+/// error (`ok: false`) and an `apply` batch that advances the epoch. The
+/// fixture graph is 0-based, so wire ids are 0-based too.
+const SERVE_SCRIPT: &str = "\
+# serve golden fixture
+{\"op\": \"stats\"}
+{\"op\": \"epoch\"}
+{\"op\": \"tip\", \"vertex\": 0}
+{\"op\": \"butterflies\", \"vertex\": 1, \"side\": \"V\"}
+{\"op\": \"butterflies\", \"u\": 0, \"v\": 1}
+{\"op\": \"topk\", \"k\": 2}
+{\"op\": \"tip\", \"vertex\": 99}
+{\"op\": \"apply\", \"ops\": [\"+2 1\"]}
+{\"op\": \"tip\", \"vertex\": 2}
+{\"op\": \"stats\"}
+{\"op\": \"shutdown\"}
+";
+
+#[test]
+fn serve_session_json_matches_golden() {
+    let dir = fixture_dir("serve");
+    std::fs::write(dir.join("req.txt"), SERVE_SCRIPT).unwrap();
+    let doc = run_json(
+        &dir,
+        &["serve", "g.tsv", "--requests", "req.txt", "--verify"],
+    );
+    assert_golden(&doc, "serve_fixture.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn json_round_trips_byte_identically() {
     // Independent of the snapshots: whatever the binary emits must

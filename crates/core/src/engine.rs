@@ -1,0 +1,449 @@
+//! The epoch-snapshot engine: one owner for the dynamic triple.
+//!
+//! Every earlier surface (`tipdecomp stream`, `repro dynamic`, the
+//! differential suites) hand-wired a [`DynamicBigraph`] +
+//! [`DynamicButterflyIndex`] + two [`DynamicTipState`]s and called their
+//! update methods in the right order. [`StreamEngine`] owns that triple
+//! behind a single `apply_batch` entry point and, after every batch,
+//! publishes an immutable [`EngineSnapshot`] — compacted adjacency,
+//! per-vertex and per-edge butterfly counts, both sides' tip numbers —
+//! stamped with a monotonically increasing epoch.
+//!
+//! The publication discipline is the Polynesia-style update/read split:
+//! writers serialize on a `Mutex` around the mutable triple; the snapshot
+//! swap is a short `RwLock<Arc<_>>` write. Readers clone the `Arc` under
+//! the read lock and then query entirely lock-free — a reader never blocks
+//! on a running batch, and every answer it computes from one snapshot is
+//! internally consistent with that snapshot's epoch.
+//!
+//! [`DynamicBigraph`]: bigraph::dynamic::DynamicBigraph
+
+use crate::dynamic::{verify_against_scratch, DynamicTipState, ScratchArtifacts, TipUpdate};
+use crate::Config;
+use bigraph::dynamic::EdgeOp;
+use bigraph::{BipartiteCsr, Side, VertexId};
+use butterfly::{BatchDelta, DynamicButterflyIndex};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Construction knobs for a [`StreamEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Decomposition configuration used by the tip updates (partitions,
+    /// heap arity, pinned thread count, HUC/DGM toggles).
+    pub config: Config,
+    /// Dirty fraction beyond which a batch falls back to full recompute.
+    pub dirty_threshold: f64,
+    /// Overlay compaction threshold of the underlying [`bigraph::dynamic::DynamicBigraph`].
+    pub compact_threshold: f64,
+    /// Differentially check every batch against the from-scratch oracles;
+    /// [`StreamEngine::apply_batch`] then fails loudly on divergence and
+    /// each [`BatchOutcome`] carries the priced [`ScratchArtifacts`].
+    pub verify: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            config: Config::default(),
+            dirty_threshold: crate::dynamic::DEFAULT_DIRTY_THRESHOLD,
+            compact_threshold: bigraph::dynamic::DEFAULT_COMPACT_THRESHOLD,
+            verify: false,
+        }
+    }
+}
+
+/// A vertex of a top-k densest query: ranked by tip number, ties broken by
+/// butterfly count then ascending id, so the ordering is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseVertex {
+    pub id: VertexId,
+    pub tip: u64,
+    pub butterflies: u64,
+}
+
+/// An immutable, internally consistent view of the decomposition after a
+/// given batch. Cheap to share (`Arc`), never mutated after publication.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    epoch: u64,
+    graph: BipartiteCsr,
+    counts_u: Vec<u64>,
+    counts_v: Vec<u64>,
+    /// Per-edge butterfly counts aligned with `graph`'s CSR edge ids
+    /// ([`BipartiteCsr::edge_index`]).
+    edge_counts: Vec<u64>,
+    total_butterflies: u64,
+    tip_u: Vec<u64>,
+    tip_v: Vec<u64>,
+}
+
+impl EngineSnapshot {
+    /// 0 for the freshly loaded graph; +1 per applied batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The materialized graph this snapshot's answers refer to.
+    pub fn graph(&self) -> &BipartiteCsr {
+        &self.graph
+    }
+
+    pub fn num_side(&self, side: Side) -> usize {
+        match side {
+            Side::U => self.graph.num_u(),
+            Side::V => self.graph.num_v(),
+        }
+    }
+
+    pub fn total_butterflies(&self) -> u64 {
+        self.total_butterflies
+    }
+
+    /// Tip numbers of one side, indexed by side-local vertex id.
+    pub fn tip_side(&self, side: Side) -> &[u64] {
+        match side {
+            Side::U => &self.tip_u,
+            Side::V => &self.tip_v,
+        }
+    }
+
+    /// Per-vertex butterfly counts of one side.
+    pub fn counts_side(&self, side: Side) -> &[u64] {
+        match side {
+            Side::U => &self.counts_u,
+            Side::V => &self.counts_v,
+        }
+    }
+
+    /// Per-edge butterfly counts in `graph().edges()` order.
+    pub fn edge_counts(&self) -> &[u64] {
+        &self.edge_counts
+    }
+
+    /// Tip number of a vertex; `None` if the id is out of range.
+    pub fn tip(&self, side: Side, v: VertexId) -> Option<u64> {
+        self.tip_side(side).get(v as usize).copied()
+    }
+
+    /// Butterfly count of a vertex; `None` if the id is out of range.
+    pub fn vertex_butterflies(&self, side: Side, v: VertexId) -> Option<u64> {
+        self.counts_side(side).get(v as usize).copied()
+    }
+
+    /// Butterfly count of edge `(u, v)`; `None` if the edge is absent.
+    pub fn edge_butterflies(&self, u: VertexId, v: VertexId) -> Option<u64> {
+        self.graph.edge_index(u, v).map(|eid| self.edge_counts[eid])
+    }
+
+    pub fn theta_max(&self, side: Side) -> u64 {
+        self.tip_side(side).iter().copied().max().unwrap_or(0)
+    }
+
+    /// FNV-1a digest of one side's tip numbers in id order.
+    pub fn tip_checksum(&self, side: Side) -> u64 {
+        crate::dynamic::fnv1a_u64(self.tip_side(side))
+    }
+
+    /// The `k` densest vertices of one side: highest tip number first,
+    /// ties broken by butterfly count then ascending id.
+    pub fn top_k_densest(&self, side: Side, k: usize) -> Vec<DenseVertex> {
+        let tips = self.tip_side(side);
+        let counts = self.counts_side(side);
+        let mut ranked: Vec<DenseVertex> = tips
+            .iter()
+            .zip(counts)
+            .enumerate()
+            .map(|(id, (&tip, &butterflies))| DenseVertex {
+                id: id as VertexId,
+                tip,
+                butterflies,
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.tip
+                .cmp(&a.tip)
+                .then(b.butterflies.cmp(&a.butterflies))
+                .then(a.id.cmp(&b.id))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// What one `apply_batch` did, including the snapshot it published.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Epoch of the published snapshot.
+    pub epoch: u64,
+    /// Structural + butterfly delta from the incremental index.
+    pub delta: BatchDelta,
+    /// U-side tip-update telemetry.
+    pub update_u: TipUpdate,
+    /// V-side tip-update telemetry.
+    pub update_v: TipUpdate,
+    /// Wall-clock of the incremental update (index + both tip updates +
+    /// snapshot build), excluding verification.
+    pub time: Duration,
+    /// From-scratch oracle artifacts and the time they cost — present iff
+    /// the engine runs with `verify` on.
+    pub scratch: Option<ScratchArtifacts>,
+    pub time_verify: Option<Duration>,
+    /// The snapshot published for this epoch.
+    pub snapshot: Arc<EngineSnapshot>,
+}
+
+impl BatchOutcome {
+    /// The tip update of the chosen side.
+    pub fn update(&self, side: Side) -> &TipUpdate {
+        match side {
+            Side::U => &self.update_u,
+            Side::V => &self.update_v,
+        }
+    }
+}
+
+/// Mutable state behind the writer lock: the triple plus the epoch counter.
+struct EngineCore {
+    index: DynamicButterflyIndex,
+    tip_u: DynamicTipState,
+    tip_v: DynamicTipState,
+    epoch: u64,
+}
+
+impl EngineCore {
+    fn snapshot(&self) -> EngineSnapshot {
+        let graph = self.index.materialize();
+        let edge_counts = graph
+            .edges()
+            .map(|(u, v)| self.index.edge_count(u, v))
+            .collect();
+        EngineSnapshot {
+            epoch: self.epoch,
+            counts_u: self.index.counts_side(Side::U).to_vec(),
+            counts_v: self.index.counts_side(Side::V).to_vec(),
+            edge_counts,
+            total_butterflies: self.index.total_butterflies(),
+            tip_u: self.tip_u.tip().to_vec(),
+            tip_v: self.tip_v.tip().to_vec(),
+            graph,
+        }
+    }
+}
+
+/// The resident owner of the dynamic triple. Writers funnel through
+/// [`Self::apply_batch`]; readers grab [`Self::snapshot`] and query it
+/// without ever blocking on a batch.
+pub struct StreamEngine {
+    inner: Mutex<EngineCore>,
+    published: RwLock<Arc<EngineSnapshot>>,
+    options: EngineOptions,
+}
+
+impl StreamEngine {
+    /// Builds the triple from a loaded graph (one full parallel count +
+    /// both sides' initial peels) and publishes the epoch-0 snapshot.
+    pub fn new(graph: BipartiteCsr, options: EngineOptions) -> Self {
+        let index = DynamicButterflyIndex::with_threshold(graph, options.compact_threshold);
+        let tip_u = DynamicTipState::with_threshold(
+            &index,
+            Side::U,
+            options.config.clone(),
+            options.dirty_threshold,
+        );
+        let tip_v = DynamicTipState::with_threshold(
+            &index,
+            Side::V,
+            options.config.clone(),
+            options.dirty_threshold,
+        );
+        let core = EngineCore {
+            index,
+            tip_u,
+            tip_v,
+            epoch: 0,
+        };
+        let snapshot = Arc::new(core.snapshot());
+        StreamEngine {
+            inner: Mutex::new(core),
+            published: RwLock::new(snapshot),
+            options,
+        }
+    }
+
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.published.read().epoch
+    }
+
+    /// The currently published snapshot. Readers clone the `Arc` under a
+    /// short read lock and then query entirely without synchronization.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        Arc::clone(&self.published.read())
+    }
+
+    /// Applies one batch through the whole triple — incremental butterfly
+    /// maintenance, then both sides' tip updates — and publishes the next
+    /// epoch's snapshot. Concurrent writers serialize; readers keep
+    /// serving the previous snapshot until the swap.
+    ///
+    /// With `verify` on, the batch is differentially checked against the
+    /// from-scratch oracles before publication; a divergence returns
+    /// `Err` and publishes nothing.
+    pub fn apply_batch(&self, ops: &[EdgeOp]) -> Result<BatchOutcome, String> {
+        let mut guard = self.inner.lock();
+        // Reborrow through the guard so the field borrows split.
+        let core = &mut *guard;
+        let t0 = Instant::now();
+        let delta = core.index.apply_batch(ops);
+        let update_u = core.tip_u.update(&core.index, &delta);
+        let update_v = core.tip_v.update(&core.index, &delta);
+        core.epoch += 1;
+        let snapshot = Arc::new(core.snapshot());
+        let time = t0.elapsed();
+
+        let (scratch, time_verify) = if self.options.verify {
+            let tv = Instant::now();
+            let artifacts = verify_against_scratch(&core.index, &[&core.tip_u, &core.tip_v])
+                .map_err(|e| format!("epoch {}: {e}", core.epoch))?;
+            (Some(artifacts), Some(tv.elapsed()))
+        } else {
+            (None, None)
+        };
+
+        *self.published.write() = Arc::clone(&snapshot);
+        Ok(BatchOutcome {
+            epoch: core.epoch,
+            delta,
+            update_u,
+            update_v,
+            time,
+            scratch,
+            time_verify,
+            snapshot,
+        })
+    }
+
+    /// Runs the shared differential gate against the current state,
+    /// regardless of the `verify` option.
+    pub fn verify_against_scratch(&self) -> Result<ScratchArtifacts, String> {
+        let core = self.inner.lock();
+        verify_against_scratch(&core.index, &[&core.tip_u, &core.tip_v])
+    }
+
+    /// Cumulative compactions of the underlying overlay graph.
+    pub fn compactions(&self) -> u64 {
+        self.inner.lock().index.graph().compactions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::builder::from_edges;
+    use bigraph::dynamic::seeded_schedule;
+    use bigraph::gen;
+
+    fn verifying(graph: BipartiteCsr) -> StreamEngine {
+        StreamEngine::new(
+            graph,
+            EngineOptions {
+                verify: true,
+                ..EngineOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn epoch_zero_snapshot_answers_match_oracles() {
+        let g = gen::planted_bicliques(20, 20, 2, 4, 4, 30, 3);
+        let engine = verifying(g.clone());
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        let counts = butterfly::count_graph(&g);
+        assert_eq!(snap.counts_side(Side::U), &counts.u[..]);
+        assert_eq!(snap.total_butterflies(), counts.total());
+        let oracle = crate::bup::bup_decompose(&g, Side::U, 4);
+        assert_eq!(snap.tip_side(Side::U), &oracle.tip[..]);
+        assert_eq!(
+            snap.theta_max(Side::U),
+            oracle.tip.iter().copied().max().unwrap()
+        );
+        engine.verify_against_scratch().unwrap();
+    }
+
+    #[test]
+    fn apply_batch_publishes_next_epoch() {
+        let g = from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        let engine = verifying(g);
+        let before = engine.snapshot();
+        let outcome = engine.apply_batch(&[EdgeOp::Insert(1, 1)]).unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.delta.gained, 1);
+        assert_eq!(engine.epoch(), 1);
+        // The pre-batch snapshot is untouched (readers holding it keep a
+        // consistent view).
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.total_butterflies(), 0);
+        assert_eq!(engine.snapshot().total_butterflies(), 1);
+        assert!(outcome.scratch.is_some());
+    }
+
+    #[test]
+    fn point_queries_answer_from_the_snapshot() {
+        let g = from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let engine = verifying(g);
+        let snap = engine.snapshot();
+        assert_eq!(snap.tip(Side::U, 0), Some(1));
+        assert_eq!(snap.tip(Side::U, 7), None, "out of range");
+        assert_eq!(snap.vertex_butterflies(Side::V, 1), Some(1));
+        assert_eq!(snap.edge_butterflies(0, 1), Some(1));
+        assert_eq!(snap.edge_butterflies(1, 7), None, "absent edge");
+    }
+
+    #[test]
+    fn top_k_ranking_is_deterministic() {
+        // u0/u1 share the butterfly (tip 1); u2 is a pendant (tip 0).
+        let g = from_edges(3, 2, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)]).unwrap();
+        let engine = verifying(g);
+        let snap = engine.snapshot();
+        let top = snap.top_k_densest(Side::U, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!((top[0].id, top[0].tip), (0, 1), "ties break by id");
+        assert_eq!((top[1].id, top[1].tip), (1, 1));
+        assert!(snap.top_k_densest(Side::U, 10).len() == 3, "k capped");
+    }
+
+    #[test]
+    fn verified_schedule_tracks_oracles_every_epoch() {
+        let g = gen::zipf(40, 30, 180, 0.5, 0.9, 61);
+        let schedule = seeded_schedule(&g, 4, 25, 67);
+        let engine = StreamEngine::new(
+            g,
+            EngineOptions {
+                verify: true,
+                dirty_threshold: 0.1,
+                compact_threshold: 0.15,
+                config: Config::default().with_partitions(6),
+            },
+        );
+        for (i, batch) in schedule.iter().enumerate() {
+            let outcome = engine.apply_batch(batch).unwrap();
+            assert_eq!(outcome.epoch, i as u64 + 1);
+            assert_eq!(outcome.snapshot.epoch(), outcome.epoch);
+            // Snapshot-internal consistency: each butterfly carries 2
+            // vertices per side and 4 edges.
+            let snap = &outcome.snapshot;
+            let total = snap.total_butterflies();
+            assert_eq!(snap.counts_side(Side::U).iter().sum::<u64>(), 2 * total);
+            assert_eq!(snap.counts_side(Side::V).iter().sum::<u64>(), 2 * total);
+            assert_eq!(snap.edge_counts().iter().sum::<u64>(), 4 * total);
+        }
+        engine.verify_against_scratch().unwrap();
+    }
+}

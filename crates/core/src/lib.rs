@@ -16,7 +16,10 @@
 //! * [`hierarchy`] — k-tip extraction/verification on top of tip numbers;
 //! * [`wing`] — the §7 extension to wing (edge) decomposition;
 //! * [`dynamic`] — incremental tip maintenance over batched edge updates
-//!   (the `tipdecomp stream` workload).
+//!   (the `tipdecomp stream` workload);
+//! * [`engine`] — the epoch-snapshot [`engine::StreamEngine`] owning the
+//!   dynamic triple and publishing immutable snapshots for concurrent
+//!   readers (the `tipdecomp serve` backend).
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@ pub mod bup;
 pub mod cd;
 pub mod config;
 pub mod dynamic;
+pub mod engine;
 pub mod fd;
 pub mod fibheap;
 pub mod heap;

@@ -9,6 +9,7 @@
 //! snapshots and diffs compare only machine-independent quantities
 //! (counts, tip/wing numbers, wedge work, sync rounds).
 
+use crate::engine::{BatchOutcome, EngineSnapshot};
 use crate::wing_parallel::WingMetrics;
 use crate::{Config, Metrics, TipDecomposition};
 use bigraph::Side;
@@ -186,6 +187,150 @@ pub struct StreamBatchReport {
     pub time_update_secs: f64,
 }
 
+impl StreamBatchReport {
+    /// The row a [`BatchOutcome`] of [`crate::engine::StreamEngine`]
+    /// produces for one side — the shared shape behind `tipdecomp stream`,
+    /// serve-mode `apply` responses, and the `repro` drivers.
+    pub fn from_outcome(batch: usize, side: Side, outcome: &BatchOutcome) -> Self {
+        let update = outcome.update(side);
+        let snapshot = &outcome.snapshot;
+        StreamBatchReport {
+            batch,
+            inserted: outcome.delta.application.inserted.len(),
+            deleted: outcome.delta.application.deleted.len(),
+            skipped: outcome.delta.application.skipped,
+            compacted: outcome.delta.application.compacted,
+            butterflies_gained: outcome.delta.gained,
+            butterflies_lost: outcome.delta.lost,
+            total_butterflies: snapshot.total_butterflies(),
+            update_work: outcome.delta.work,
+            policy: update.policy,
+            dirty: update.dirty,
+            dirty_fraction: update.dirty_fraction,
+            peel_wedges: update.wedges,
+            theta_max: snapshot.theta_max(side),
+            tip_checksum: snapshot.tip_checksum(side),
+            time_update_secs: outcome.time.as_secs_f64(),
+        }
+    }
+}
+
+/// One serve-mode response frame. The vendored `serde_derive` cannot emit
+/// data-carrying enums, so every answer shape shares this one struct:
+/// `op` echoes the request's operation and exactly the fields that
+/// operation produces are non-`null`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    pub schema_version: u32,
+    /// Always `"serve"`.
+    pub kind: String,
+    /// 0-based sequence number of the request within the session.
+    pub seq: u64,
+    /// Echo of the request operation (`tip` / `butterflies` / `topk` /
+    /// `stats` / `epoch` / `apply` / `shutdown`).
+    pub op: String,
+    /// Epoch of the snapshot that answered (for `apply`: the epoch it
+    /// published).
+    pub epoch: u64,
+    pub ok: bool,
+    /// Present iff `ok` is false.
+    pub error: Option<String>,
+    /// Scalar answer: a tip number or a butterfly count.
+    pub value: Option<u64>,
+    pub topk: Option<Vec<TopKEntry>>,
+    pub stats: Option<ServeStats>,
+    /// The per-batch row of an `apply`.
+    pub batch: Option<StreamBatchReport>,
+}
+
+impl ServeResponse {
+    /// A skeleton response with every answer field empty; fill the one the
+    /// operation produces.
+    pub fn new(seq: u64, op: impl Into<String>, epoch: u64) -> Self {
+        ServeResponse {
+            schema_version: SCHEMA_VERSION,
+            kind: "serve".to_string(),
+            seq,
+            op: op.into(),
+            epoch,
+            ok: true,
+            error: None,
+            value: None,
+            topk: None,
+            stats: None,
+            batch: None,
+        }
+    }
+
+    /// An error response for a request that could not be answered.
+    pub fn error(seq: u64, op: impl Into<String>, epoch: u64, message: impl Into<String>) -> Self {
+        let mut r = ServeResponse::new(seq, op, epoch);
+        r.ok = false;
+        r.error = Some(message.into());
+        r
+    }
+}
+
+/// One row of a `topk` answer, densest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopKEntry {
+    pub id: u32,
+    pub side: Side,
+    pub tip: u64,
+    pub butterflies: u64,
+}
+
+/// The `stats` answer: the snapshot's aggregate state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    pub epoch: u64,
+    pub num_u: usize,
+    pub num_v: usize,
+    pub num_edges: usize,
+    pub total_butterflies: u64,
+    pub theta_max_u: u64,
+    pub theta_max_v: u64,
+    /// FNV-1a digests of the tip numbers in id order, per side.
+    pub tip_checksum_u: u64,
+    pub tip_checksum_v: u64,
+}
+
+impl ServeStats {
+    pub fn from_snapshot(snapshot: &EngineSnapshot) -> Self {
+        ServeStats {
+            epoch: snapshot.epoch(),
+            num_u: snapshot.graph().num_u(),
+            num_v: snapshot.graph().num_v(),
+            num_edges: snapshot.graph().num_edges(),
+            total_butterflies: snapshot.total_butterflies(),
+            theta_max_u: snapshot.theta_max(Side::U),
+            theta_max_v: snapshot.theta_max(Side::V),
+            tip_checksum_u: snapshot.tip_checksum(Side::U),
+            tip_checksum_v: snapshot.tip_checksum(Side::V),
+        }
+    }
+}
+
+/// Whole-document report of a scripted serve session (`tipdecomp serve
+/// --requests`): every response in request order plus the final state —
+/// the serve analog of [`StreamReport`], golden-snapshot friendly after
+/// [`scrub_timings`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSessionReport {
+    pub schema_version: u32,
+    /// Always `"serve-session"`.
+    pub kind: String,
+    /// Graph file, as given on the command line.
+    pub input: String,
+    /// Requests file (newline-delimited JSON).
+    pub requests: String,
+    /// Every applied batch was differentially verified in-engine.
+    pub verified: bool,
+    pub responses: Vec<ServeResponse>,
+    pub final_stats: ServeStats,
+    pub time_session_secs: f64,
+}
+
 /// Canonicalizes every timing field in a parsed report so documents can be
 /// compared across runs and machines: object values under keys starting
 /// with `time_` are zeroed — `Duration` objects get `secs`/`nanos` set to
@@ -227,11 +372,12 @@ pub fn scrub_timings(value: &mut serde_json::Value) {
     }
 }
 
-/// Canonicalizes the scheduler-telemetry section of a parsed report by
-/// replacing any `scheduler` key's value with `null`, recursively.
-/// Scheduler counters (steals, per-worker execution counts) depend on OS
-/// scheduling and are therefore nondeterministic run to run — like
-/// timings, they are diagnostics, not results. Golden-snapshot and
+/// Canonicalizes the runtime-telemetry sections of a parsed report by
+/// replacing any `scheduler` or `serve_telemetry` key's value with
+/// `null`, recursively. Scheduler counters (steals, per-worker execution
+/// counts) and serve-session throughput (reads served, reads per epoch)
+/// depend on OS scheduling and are therefore nondeterministic run to run —
+/// like timings, they are diagnostics, not results. Golden-snapshot and
 /// cross-thread-count comparisons scrub them alongside [`scrub_timings`];
 /// the CI scheduler gate reads them from the *unscrubbed* document via
 /// `repro check-sched` instead.
@@ -244,7 +390,7 @@ pub fn scrub_scheduler(value: &mut serde_json::Value) {
         }
         serde_json::Value::Object(map) => {
             for (key, entry) in map.iter_mut() {
-                if key == "scheduler" {
+                if key == "scheduler" || key == "serve_telemetry" {
                     *entry = serde_json::Value::Null;
                 } else {
                     scrub_scheduler(entry);

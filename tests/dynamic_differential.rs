@@ -7,6 +7,11 @@
 //! * per-edge butterfly counts vs `butterfly::per_edge::per_edge_counts`,
 //! * tip numbers (both sides) vs `receipt::bup::bup_decompose`.
 //!
+//! The suite drives the schedules through [`StreamEngine`] — the same
+//! epoch-snapshot layer behind `tipdecomp stream`/`serve` and `repro
+//! dynamic` — with `verify` on, so every batch passes the shared
+//! differential gate before its snapshot is published.
+//!
 //! The whole file is thread-count-sensitive by construction (batch
 //! enumeration fans out on the rayon pool), so CI runs it under each
 //! `RAYON_NUM_THREADS` matrix leg; `identical_and_correct_at_1_and_4_threads`
@@ -14,8 +19,8 @@
 
 use bigraph::dynamic::{seeded_schedule, EdgeOp};
 use bigraph::{builder::from_edges, gen, BipartiteCsr, Side};
-use butterfly::DynamicButterflyIndex;
-use receipt::dynamic::{DynamicTipState, UpdatePolicy};
+use receipt::dynamic::UpdatePolicy;
+use receipt::engine::{EngineOptions, StreamEngine};
 use receipt::Config;
 
 /// A handful of vertices share one hub plus a few private leaves.
@@ -44,36 +49,29 @@ fn families() -> Vec<(&'static str, BipartiteCsr)> {
     ]
 }
 
-/// Asserts every maintained quantity against the from-scratch oracles —
-/// the same shared gate `tipdecomp stream --verify` and `repro dynamic`
-/// use (vertex counts, per-edge counts incl. stale-entry detection, tips
-/// vs BUP).
-fn assert_matches_oracles(
-    name: &str,
-    batch: usize,
-    index: &DynamicButterflyIndex,
-    states: &[&DynamicTipState],
-) {
-    if let Err(e) = receipt::dynamic::verify_against_scratch(index, states) {
-        panic!("{name} batch {batch}: {e}");
-    }
-}
-
 #[test]
 fn incremental_state_equals_from_scratch_after_every_batch() {
     for (name, g) in families() {
         let schedule = seeded_schedule(&g, 5, 30, 0xD15C0 ^ g.num_edges() as u64);
         // Aggressive compaction + a mid dirty threshold: exercise overlay
-        // rebuilds and both recompute policies across the families.
-        let mut index = DynamicButterflyIndex::with_threshold(g, 0.15);
-        let config = Config::default().with_partitions(6);
-        let mut tip_u = DynamicTipState::with_threshold(&index, Side::U, config.clone(), 0.15);
-        let mut tip_v = DynamicTipState::with_threshold(&index, Side::V, config.clone(), 0.15);
+        // rebuilds and both recompute policies across the families. The
+        // engine verifies every batch against the from-scratch oracles
+        // (vertex counts, per-edge counts incl. stale-entry detection,
+        // tips vs BUP on both sides) before publishing its snapshot.
+        let engine = StreamEngine::new(
+            g,
+            EngineOptions {
+                config: Config::default().with_partitions(6),
+                dirty_threshold: 0.15,
+                compact_threshold: 0.15,
+                verify: true,
+            },
+        );
         for (i, batch) in schedule.iter().enumerate() {
-            let delta = index.apply_batch(batch);
-            tip_u.update(&index, &delta);
-            tip_v.update(&index, &delta);
-            assert_matches_oracles(name, i, &index, &[&tip_u, &tip_v]);
+            let outcome = engine
+                .apply_batch(batch)
+                .unwrap_or_else(|e| panic!("{name} batch {i}: {e}"));
+            assert_eq!(outcome.epoch, i as u64 + 1, "{name}: epochs count batches");
         }
     }
 }
@@ -86,22 +84,23 @@ fn policies_and_checksums_are_exercised() {
     let mut schedule = seeded_schedule(&g, 6, 25, 47);
     // A pendant edge to a brand-new vertex closes no butterfly.
     schedule.push(vec![EdgeOp::Insert(1000, 999)]);
-    let mut index = DynamicButterflyIndex::new(g);
-    let mut state = DynamicTipState::with_threshold(
-        &index,
-        Side::U,
-        Config::default().with_partitions(6),
-        0.05,
+    let engine = StreamEngine::new(
+        g,
+        EngineOptions {
+            config: Config::default().with_partitions(6),
+            dirty_threshold: 0.05,
+            ..EngineOptions::default()
+        },
     );
     let mut policies = Vec::new();
     for batch in &schedule {
-        let delta = index.apply_batch(batch);
-        let update = state.update(&index, &delta);
-        policies.push(update.policy);
-        let oracle = receipt::bup::bup_decompose(&index.materialize(), Side::U, 4);
-        assert_eq!(state.tip(), &oracle.tip[..]);
+        let outcome = engine.apply_batch(batch).unwrap();
+        policies.push(outcome.update(Side::U).policy);
+        let snap = &outcome.snapshot;
+        let oracle = receipt::bup::bup_decompose(snap.graph(), Side::U, 4);
+        assert_eq!(snap.tip_side(Side::U), &oracle.tip[..]);
         assert_eq!(
-            receipt::dynamic::fnv1a_u64(state.tip()),
+            snap.tip_checksum(Side::U),
             receipt::dynamic::fnv1a_u64(&oracle.tip),
         );
     }
@@ -124,19 +123,24 @@ fn identical_and_correct_at_1_and_4_threads() {
     let schedule = seeded_schedule(&g, 4, 30, 59);
     let run = |threads: usize| {
         parutil::with_pool(threads, || {
-            let mut index = DynamicButterflyIndex::with_threshold(g.clone(), 0.2);
-            let mut state = DynamicTipState::with_threshold(
-                &index,
-                Side::U,
-                Config::default().with_partitions(6),
-                0.1,
+            let engine = StreamEngine::new(
+                g.clone(),
+                EngineOptions {
+                    config: Config::default().with_partitions(6),
+                    dirty_threshold: 0.1,
+                    compact_threshold: 0.2,
+                    verify: true,
+                },
             );
             let mut trajectory = Vec::new();
             for (i, batch) in schedule.iter().enumerate() {
-                let delta = index.apply_batch(batch);
-                state.update(&index, &delta);
-                assert_matches_oracles("threads", i, &index, &[&state]);
-                trajectory.push((delta, state.tip().to_vec()));
+                let outcome = engine
+                    .apply_batch(batch)
+                    .unwrap_or_else(|e| panic!("threads={threads} batch {i}: {e}"));
+                trajectory.push((
+                    outcome.delta.clone(),
+                    outcome.snapshot.tip_side(Side::U).to_vec(),
+                ));
             }
             trajectory
         })
