@@ -19,6 +19,10 @@
 //!   serve    mixed read/update throughput: a writer applies the dynamic
 //!            schedule through the epoch-snapshot engine while reader
 //!            threads answer point queries from published snapshots
+//!   recover  durability crash matrix: cut the WAL at (and inside) every
+//!            batch boundary, recover, and require the reference state
+//!            plus a from-scratch oracle pass; checkpoint folding and
+//!            binary-vs-text load cost ride along
 //!   projection  §1 motivation: unipartite-projection blowup
 //!   smoke    small deterministic oracle-checked runs (CI / golden snapshot)
 //!   all      everything above except smoke, in order
@@ -100,7 +104,8 @@ fn main() {
         let report = match build_json(&what) {
             Some(report) => report,
             None if KNOWN_EXPERIMENTS.contains(&what.as_str()) => fail(&format!(
-                "`{what}` has no JSON form; supported: table2, table3, wing, dynamic, serve, smoke"
+                "`{what}` has no JSON form; supported: table2, table3, wing, dynamic, serve, \
+                 recover, smoke"
             )),
             None => fail(&format!(
                 "unknown experiment `{what}`; see --help in the module docs"
@@ -136,6 +141,7 @@ fn main() {
         "wing" => wing_extension(),
         "dynamic" => dynamic_experiment(),
         "serve" => serve_experiment(),
+        "recover" => recover_experiment(),
         "projection" => projection_motivation(),
         "smoke" => smoke(),
         "all" => {
@@ -152,6 +158,7 @@ fn main() {
             wing_extension();
             dynamic_experiment();
             serve_experiment();
+            recover_experiment();
             projection_motivation();
         }
         other => fail(&format!(
@@ -174,6 +181,7 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "wing",
     "dynamic",
     "serve",
+    "recover",
     "projection",
     "smoke",
     "all",
@@ -206,6 +214,7 @@ fn build_json(what: &str) -> Option<ReproReport> {
         "wing" => report.wing = Some(wing_rows()),
         "dynamic" => report.dynamic = Some(dynamic_rows()),
         "serve" => report.serve = Some(serve_report(SERVE_READERS)),
+        "recover" => report.recover = Some(recover_report()),
         "smoke" => {
             report.smoke = Some(smoke_report());
             // The smoke graphs are deliberately tiny, so drive one
@@ -704,6 +713,63 @@ fn serve_experiment() {
         report.final_epoch,
         report.final_verified,
     );
+}
+
+/// The durability crash matrix, in human-readable form. Divergence from
+/// the reference trajectory or the oracle panics inside `recover_report`.
+fn recover_experiment() {
+    header("recover: WAL crash matrix, checkpoint folding, and load cost");
+    let report = recover_report();
+    println!(
+        "{} over {} durable batch(es); every recovery oracle-verified",
+        report.family, report.batches
+    );
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "crash kind",
+        "boundary",
+        "records",
+        "replayed",
+        "repaired",
+        "torn(B)",
+        "total_bf",
+        "t_rec(s)"
+    );
+    for r in &report.crash_matrix {
+        println!(
+            "{:<18} {:>8} {:>8} {:>8} {:>9} {:>9} {:>10} {:>10.4}",
+            r.kind,
+            r.boundary,
+            r.wal_records,
+            r.replayed,
+            r.repaired,
+            r.discarded_bytes,
+            r.total_butterflies,
+            r.time_recover_secs,
+        );
+    }
+    let f = &report.checkpoint_fold;
+    println!(
+        "fold: checkpoint every {} -> checkpoint lsn {}, replayed {}, skipped {} (of {})",
+        f.checkpoint_every, f.checkpoint_lsn, f.replayed, f.skipped, f.batches
+    );
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "graph", "|E|", "text(B)", "binary(B)", "ratio", "t_text(s)", "t_binary(s)"
+    );
+    for r in &report.load_cost {
+        println!(
+            "{:<10} {:>8} {:>10} {:>10} {:>8.2} {:>12.5} {:>12.5}",
+            r.graph,
+            r.num_edges,
+            r.text_bytes,
+            r.binary_bytes,
+            r.text_bytes as f64 / r.binary_bytes as f64,
+            r.time_text_load_secs,
+            r.time_binary_load_secs,
+        );
+    }
+    println!("(crash states matched the uninterrupted run at every boundary)");
 }
 
 /// `smoke`: the oracle-checked CI workload, in human-readable form.

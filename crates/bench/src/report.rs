@@ -26,6 +26,7 @@ pub struct ReproReport {
     pub wing: Option<Vec<WingRow>>,
     pub dynamic: Option<Vec<DynamicRow>>,
     pub serve: Option<ServeExperimentReport>,
+    pub recover: Option<RecoverExperimentReport>,
     pub smoke: Option<SmokeReport>,
     /// Cumulative work-stealing scheduler counters at the end of the run.
     /// Nondeterministic (OS-scheduling-dependent), so snapshot/diff
@@ -45,6 +46,7 @@ impl ReproReport {
             wing: None,
             dynamic: None,
             serve: None,
+            recover: None,
             smoke: None,
             scheduler: None,
         }
@@ -224,6 +226,84 @@ pub struct ServeTelemetry {
     pub inconsistencies: u64,
     pub time_session_secs: f64,
     pub reads_per_sec: f64,
+}
+
+/// The `repro recover` experiment: the durability crash matrix. An
+/// uninterrupted durable run of a seeded batch schedule records the
+/// per-epoch reference trajectory; then, for every batch boundary, the
+/// store is cloned with its WAL cut at that boundary (simulating a crash)
+/// and recovered, and the recovered state is required to equal the
+/// reference state at the boundary AND pass the from-scratch oracle. A
+/// checkpoint-fold run and the binary-vs-text load-cost comparison ride
+/// along. Everything except the `time_*_secs` fields is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverExperimentReport {
+    pub family: String,
+    /// Batches in the reference schedule (= WAL records = boundaries).
+    pub batches: usize,
+    pub crash_matrix: Vec<CrashRow>,
+    pub checkpoint_fold: CheckpointFoldRow,
+    pub load_cost: Vec<LoadCostRow>,
+    /// Every crash-matrix and fold recovery passed `verify_against_scratch`
+    /// and matched the reference trajectory (also asserted during the run).
+    pub all_recoveries_verified: bool,
+}
+
+/// One simulated crash + recovery. `kind` is where the crash hit:
+/// `kill-after-append` (WAL record durable, crash before the in-memory
+/// apply), `kill-after-apply` (crash after apply but before anything
+/// else — on disk these are the same bytes, so both must recover to the
+/// post-batch state), or `torn-append` (crash mid-write: the final record
+/// is incomplete, recovery truncates it and lands on the previous batch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashRow {
+    pub kind: String,
+    /// 1-based batch boundary (= LSN of the record the cut lands in).
+    pub boundary: usize,
+    /// Committed records the recovery found in the cut WAL.
+    pub wal_records: usize,
+    pub replayed: usize,
+    /// Recovery truncated a torn tail.
+    pub repaired: bool,
+    pub discarded_bytes: u64,
+    pub total_butterflies: u64,
+    pub tip_checksum_u: u64,
+    pub tip_checksum_v: u64,
+    /// Recovered checksums equal the uninterrupted run's at the expected
+    /// epoch (asserted during the run).
+    pub matches_reference: bool,
+    /// `verify_against_scratch` passed on the recovered engine.
+    pub oracle_verified: bool,
+    pub time_recover_secs: f64,
+}
+
+/// Recovery of a run that folded periodic checkpoints: only the records
+/// past the last fold replay, and the result still matches the reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointFoldRow {
+    pub checkpoint_every: u64,
+    pub batches: usize,
+    /// LSN the last fold pinned (records at or below it are in the base).
+    pub checkpoint_lsn: u64,
+    pub replayed: usize,
+    pub skipped: usize,
+    pub matches_reference: bool,
+    pub oracle_verified: bool,
+    pub time_recover_secs: f64,
+}
+
+/// Binary (`.bgr`) vs text edge-list load cost for one graph: bytes on
+/// disk and parse time, with the round trip checked for equality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadCostRow {
+    pub graph: String,
+    pub num_edges: usize,
+    pub text_bytes: u64,
+    pub binary_bytes: u64,
+    /// The binary image decoded to the identical graph (asserted).
+    pub round_trip_identical: bool,
+    pub time_text_load_secs: f64,
+    pub time_binary_load_secs: f64,
 }
 
 /// `repro smoke`: small deterministic runs cross-checked against the

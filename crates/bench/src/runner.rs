@@ -2,8 +2,9 @@
 //! structured row builders, and row formatting for the `repro` harness.
 
 use crate::report::{
-    SchedulerReport, ServeBatchRow, ServeExperimentReport, ServeTelemetry, SmokeReport,
-    SmokeTipRun, SmokeWingRun, Table2Row, Table3Row, WingRow,
+    CheckpointFoldRow, CrashRow, LoadCostRow, RecoverExperimentReport, SchedulerReport,
+    ServeBatchRow, ServeExperimentReport, ServeTelemetry, SmokeReport, SmokeTipRun, SmokeWingRun,
+    Table2Row, Table3Row, WingRow,
 };
 use bigraph::{datasets::AnalogSpec, stats, BipartiteCsr, Side};
 use rayon::prelude::*;
@@ -450,6 +451,209 @@ pub fn serve_report(readers: usize) -> ServeExperimentReport {
             time_session_secs: time_session,
             reads_per_sec: reads_total as f64 / time_session.max(1e-9),
         }),
+    }
+}
+
+/// A unique scratch directory for the recover experiment (wiped first so a
+/// rerun starts clean).
+fn recover_scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro_recover_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+    dir
+}
+
+/// Clones the reference store into `dir` with its WAL truncated to
+/// `wal_len` bytes — the on-disk picture a crash at that point leaves.
+fn clone_store_cut(reference: &std::path::Path, dir: &std::path::Path, wal_len: u64) {
+    use receipt::wal::Store;
+    for path in [
+        Store::snapshot_path(reference, 0),
+        Store::meta_path(reference),
+    ] {
+        let name = path.file_name().unwrap();
+        std::fs::copy(&path, dir.join(name)).unwrap_or_else(|e| panic!("copy {name:?}: {e}"));
+    }
+    let wal = std::fs::read(Store::wal_path(reference)).expect("reference wal");
+    assert!(wal_len as usize <= wal.len(), "cut past end of wal");
+    std::fs::write(Store::wal_path(dir), &wal[..wal_len as usize]).expect("write cut wal");
+}
+
+/// `repro recover`: the durability crash matrix (`FORMATS.md` §4). An
+/// uninterrupted durable run over a seeded schedule yields the reference
+/// trajectory and a WAL with one record per batch; for every batch
+/// boundary the store is cloned with the WAL cut there — at the exact
+/// record end for the two kill kinds (identical bytes; the post-batch
+/// state must come back) and mid-record for `torn-append` (the tail must
+/// be repaired and the previous batch's state come back). Every recovery
+/// is oracle-verified. Panics on any mismatch.
+pub fn recover_report() -> RecoverExperimentReport {
+    use receipt::wal::{Store, Wal};
+
+    let (family, graph, batches, ops, seed, dirty_threshold) = dynamic_workloads().remove(0);
+    let schedule = bigraph::dynamic::seeded_schedule(&graph, batches, ops, seed);
+    let options = || EngineOptions {
+        config: Config::default().with_partitions(8),
+        dirty_threshold,
+        verify: false,
+        ..EngineOptions::default()
+    };
+
+    // Reference run: no checkpoint folding, so the WAL keeps every record.
+    let ref_dir = recover_scratch("reference");
+    let (engine, info) = StreamEngine::open_durable(&ref_dir, Some(graph.clone()), options(), 0)
+        .unwrap_or_else(|e| panic!("{family} reference init: {e}"));
+    assert!(info.created);
+    // reference[b] = (total butterflies, tip checksums) after batch b.
+    let state_of = |snap: &receipt::engine::EngineSnapshot| {
+        (
+            snap.total_butterflies(),
+            snap.tip_checksum(Side::U),
+            snap.tip_checksum(Side::V),
+        )
+    };
+    let mut reference = vec![state_of(&engine.snapshot())];
+    for (batch_idx, batch) in schedule.iter().enumerate() {
+        let outcome = engine
+            .apply_batch(batch)
+            .unwrap_or_else(|e| panic!("{family} batch {batch_idx}: {e}"));
+        reference.push(state_of(&outcome.snapshot));
+    }
+    let spans = Wal::scan(Store::wal_path(&ref_dir)).expect("reference wal scans clean");
+    assert_eq!(spans.len(), schedule.len(), "one record per batch");
+
+    let mut crash_matrix = Vec::new();
+    let recover_into =
+        |dir: &std::path::Path| -> (StreamEngine, receipt::engine::RecoveryInfo, f64) {
+            let t0 = std::time::Instant::now();
+            let (engine, info) = StreamEngine::open_durable(dir, None, options(), 0)
+                .unwrap_or_else(|e| panic!("recovery in {} failed: {e}", dir.display()));
+            let secs = t0.elapsed().as_secs_f64();
+            engine
+                .verify_against_scratch()
+                .unwrap_or_else(|e| panic!("oracle after recovery in {}: {e}", dir.display()));
+            (engine, info, secs)
+        };
+    for (b, span) in spans.iter().enumerate() {
+        let boundary = b + 1; // = span.lsn
+        let record_end = span.offset + span.len;
+        // The two kill kinds leave identical bytes (the record is fully
+        // durable); both must land on the post-batch state.
+        for kind in ["kill-after-append", "kill-after-apply"] {
+            let dir = recover_scratch(&format!("{kind}-{boundary}"));
+            clone_store_cut(&ref_dir, &dir, record_end);
+            let (engine, info, secs) = recover_into(&dir);
+            let got = state_of(&engine.snapshot());
+            assert_eq!(got, reference[boundary], "{kind} @ {boundary}");
+            crash_matrix.push(CrashRow {
+                kind: kind.to_string(),
+                boundary,
+                wal_records: info.wal_records,
+                replayed: info.replayed,
+                repaired: info.repaired.is_some(),
+                discarded_bytes: 0,
+                total_butterflies: got.0,
+                tip_checksum_u: got.1,
+                tip_checksum_v: got.2,
+                matches_reference: true,
+                oracle_verified: true,
+                time_recover_secs: secs,
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        // Torn append: the crash hit mid-write, leaving a partial record.
+        // Recovery truncates it and lands on the previous batch's state.
+        let torn = span.len - 5;
+        let dir = recover_scratch(&format!("torn-append-{boundary}"));
+        clone_store_cut(&ref_dir, &dir, span.offset + torn);
+        let (engine, info, secs) = recover_into(&dir);
+        let got = state_of(&engine.snapshot());
+        assert_eq!(got, reference[boundary - 1], "torn-append @ {boundary}");
+        let repair = info.repaired.expect("torn tail must be repaired");
+        assert_eq!(repair.discarded_bytes, torn, "torn bytes discarded");
+        crash_matrix.push(CrashRow {
+            kind: "torn-append".to_string(),
+            boundary,
+            wal_records: info.wal_records,
+            replayed: info.replayed,
+            repaired: true,
+            discarded_bytes: repair.discarded_bytes,
+            total_butterflies: got.0,
+            tip_checksum_u: got.1,
+            tip_checksum_v: got.2,
+            matches_reference: true,
+            oracle_verified: true,
+            time_recover_secs: secs,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Checkpoint folding: same schedule with a fold every 2 batches; only
+    // the post-fold tail replays, and the final state still matches.
+    let fold_every = 2u64;
+    let fold_dir = recover_scratch("fold");
+    let (engine, _) =
+        StreamEngine::open_durable(&fold_dir, Some(graph.clone()), options(), fold_every)
+            .unwrap_or_else(|e| panic!("{family} fold init: {e}"));
+    for (batch_idx, batch) in schedule.iter().enumerate() {
+        engine
+            .apply_batch(batch)
+            .unwrap_or_else(|e| panic!("{family} fold batch {batch_idx}: {e}"));
+    }
+    drop(engine);
+    let (engine, info, fold_secs) = recover_into(&fold_dir);
+    let got = state_of(&engine.snapshot());
+    assert_eq!(got, reference[schedule.len()], "fold recovery");
+    let expected_ckpt = (schedule.len() as u64 / fold_every) * fold_every;
+    assert_eq!(info.checkpoint_lsn, expected_ckpt);
+    let checkpoint_fold = CheckpointFoldRow {
+        checkpoint_every: fold_every,
+        batches: schedule.len(),
+        checkpoint_lsn: info.checkpoint_lsn,
+        replayed: info.replayed,
+        skipped: info.skipped,
+        matches_reference: true,
+        oracle_verified: true,
+        time_recover_secs: fold_secs,
+    };
+    let _ = std::fs::remove_dir_all(&fold_dir);
+
+    // Load cost: the same graphs on disk as text vs binary image.
+    let mut load_cost = Vec::new();
+    let io_dir = recover_scratch("loadcost");
+    for (name, g, ..) in dynamic_workloads() {
+        let text_path = io_dir.join(format!("{name}.tsv"));
+        let bin_path = io_dir.join(format!("{name}.bgr"));
+        bigraph::io::write_graph_path(&g, &text_path).expect("write text");
+        bigraph::binfmt::write_binary_graph_path(&bin_path, &g).expect("write binary");
+        let t0 = std::time::Instant::now();
+        let from_text = bigraph::io::read_graph_path(&text_path).expect("read text");
+        let time_text = t0.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
+        let from_bin = bigraph::binfmt::read_binary_graph_path(&bin_path).expect("read binary");
+        let time_bin = t0.elapsed().as_secs_f64();
+        let identical = from_text.edges().eq(g.edges()) && from_bin.graph.edges().eq(g.edges());
+        assert!(identical, "{name}: load round trip diverged");
+        load_cost.push(LoadCostRow {
+            graph: name.to_string(),
+            num_edges: g.num_edges(),
+            text_bytes: std::fs::metadata(&text_path).unwrap().len(),
+            binary_bytes: std::fs::metadata(&bin_path).unwrap().len(),
+            round_trip_identical: identical,
+            time_text_load_secs: time_text,
+            time_binary_load_secs: time_bin,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&io_dir);
+
+    RecoverExperimentReport {
+        family: family.to_string(),
+        batches: schedule.len(),
+        crash_matrix,
+        checkpoint_fold,
+        load_cost,
+        all_recoveries_verified: true,
     }
 }
 

@@ -1,8 +1,8 @@
 //! Golden-snapshot tests for `repro smoke --json`, `repro dynamic --json`,
-//! and `repro serve --json`.
+//! `repro serve --json`, and `repro recover --json`.
 //!
 //! Runs the real harness binary, scrubs timings, and pins the documents
-//! against `tests/golden/repro_{smoke,dynamic,serve}.json` at the
+//! against `tests/golden/repro_{smoke,dynamic,serve,recover}.json` at the
 //! repository root. Refresh after an intentional change with:
 //!
 //! ```text
@@ -97,6 +97,69 @@ fn serve_report_confirms_consistency() {
     assert!(t.reads_total > 0, "readers must have completed rounds");
     assert_eq!(t.reads_per_reader.len(), serve.readers);
     assert!(t.epochs_observed >= 1 && t.epochs_observed <= serve.batches.len() + 1);
+}
+
+#[test]
+fn recover_json_matches_golden() {
+    assert_matches_golden("recover", "repro_recover.json");
+}
+
+#[test]
+fn recover_report_confirms_crash_matrix() {
+    let doc = run_repro_json("recover");
+    let report: receipt_bench::report::ReproReport = serde_json::from_str(&doc).unwrap();
+    assert_eq!(report.experiment, "recover");
+    let recover = report.recover.expect("recover section populated");
+    assert!(recover.all_recoveries_verified);
+    assert!(recover.batches >= 2, "matrix needs multiple boundaries");
+    // Every boundary appears with all three crash kinds.
+    for boundary in 1..=recover.batches {
+        for kind in ["kill-after-append", "kill-after-apply", "torn-append"] {
+            let row = recover
+                .crash_matrix
+                .iter()
+                .find(|r| r.boundary == boundary && r.kind == kind)
+                .unwrap_or_else(|| panic!("missing {kind} @ {boundary}"));
+            assert!(row.matches_reference, "{kind} @ {boundary}");
+            assert!(row.oracle_verified, "{kind} @ {boundary}");
+            // Kill crashes keep the boundary's record; torn ones lose it.
+            if kind == "torn-append" {
+                assert!(
+                    row.repaired && row.discarded_bytes > 0,
+                    "{kind} @ {boundary}"
+                );
+                assert_eq!(row.replayed, boundary - 1, "{kind} @ {boundary}");
+            } else {
+                assert!(
+                    !row.repaired && row.discarded_bytes == 0,
+                    "{kind} @ {boundary}"
+                );
+                assert_eq!(row.replayed, boundary, "{kind} @ {boundary}");
+            }
+        }
+    }
+    // The two kill kinds leave identical bytes, so their recovered states
+    // must agree row for row.
+    for boundary in 1..=recover.batches {
+        let find = |kind: &str| {
+            recover
+                .crash_matrix
+                .iter()
+                .find(|r| r.boundary == boundary && r.kind == kind)
+                .unwrap()
+        };
+        let (a, b) = (find("kill-after-append"), find("kill-after-apply"));
+        assert_eq!(a.tip_checksum_u, b.tip_checksum_u);
+        assert_eq!(a.tip_checksum_v, b.tip_checksum_v);
+        assert_eq!(a.total_butterflies, b.total_butterflies);
+    }
+    let fold = &recover.checkpoint_fold;
+    assert!(fold.matches_reference && fold.oracle_verified);
+    assert!(fold.checkpoint_lsn > 0, "folding must have checkpointed");
+    assert!(!recover.load_cost.is_empty());
+    for row in &recover.load_cost {
+        assert!(row.round_trip_identical, "{}", row.graph);
+    }
 }
 
 #[test]

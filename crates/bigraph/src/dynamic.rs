@@ -32,7 +32,9 @@ use std::io::{BufRead, BufReader, Read};
 /// One streamed edge operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeOp {
+    /// Insert the edge `(u, v)`.
     Insert(VertexId, VertexId),
+    /// Delete the edge `(u, v)`.
     Delete(VertexId, VertexId),
 }
 
@@ -112,14 +114,17 @@ impl DynamicBigraph {
         &self.base
     }
 
+    /// Current U-side size (base plus on-demand growth).
     pub fn num_u(&self) -> usize {
         self.num_u
     }
 
+    /// Current V-side size (base plus on-demand growth).
     pub fn num_v(&self) -> usize {
         self.num_v
     }
 
+    /// Live edge count: base edges plus the overlay's net effect.
     pub fn num_edges(&self) -> usize {
         self.base.num_edges() + self.added.len() - self.removed.len()
     }
@@ -134,6 +139,7 @@ impl DynamicBigraph {
         self.compactions
     }
 
+    /// Whether `(u, v)` is a live edge, overlay included.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         if self.added.contains(&(u, v)) {
             return true;

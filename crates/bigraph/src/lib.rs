@@ -24,9 +24,12 @@
 //! * [`datasets`] — six named generator presets standing in for the KONECT
 //!   datasets of the paper's evaluation (see `DESIGN.md` §3).
 //! * [`io`] — KONECT-style whitespace edge-list reader/writer.
+//! * [`binfmt`] — the checksummed fixed-width binary graph image
+//!   (`.bgr`) specified in `FORMATS.md` §1.
 //! * [`stats`] — wedge counts and the peel/re-count cost model behind the
 //!   HUC optimization (§4.1).
 
+pub mod binfmt;
 pub mod builder;
 pub mod compact;
 pub mod csr;

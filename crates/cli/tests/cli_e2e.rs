@@ -245,6 +245,202 @@ fn stream_pipeline_on_fixture() {
 }
 
 #[test]
+fn convert_round_trips_byte_identically() {
+    let dir = temp_dir("convert");
+    let graph = write_fixture(&dir);
+    let canon = dir.join("canon.tsv");
+    let bgr = dir.join("g.bgr");
+    let bgr2 = dir.join("g2.bgr");
+    let back = dir.join("back.tsv");
+
+    // Canonicalize the hand-written fixture through the text writer, then
+    // text -> binary -> text must reproduce it byte for byte.
+    for args in [
+        vec![
+            "convert",
+            graph.to_str().unwrap(),
+            canon.to_str().unwrap(),
+            "--to",
+            "text",
+        ],
+        vec!["convert", canon.to_str().unwrap(), bgr.to_str().unwrap()],
+        vec!["convert", bgr.to_str().unwrap(), back.to_str().unwrap()],
+        vec!["convert", bgr.to_str().unwrap(), bgr2.to_str().unwrap()],
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        std::fs::read(&canon).unwrap(),
+        std::fs::read(&back).unwrap(),
+        "text -> binary -> text round trip"
+    );
+    assert_eq!(
+        std::fs::read(&bgr).unwrap(),
+        std::fs::read(&bgr2).unwrap(),
+        "binary -> binary round trip"
+    );
+
+    // `--json` report carries the conversion facts.
+    let out = bin()
+        .args([
+            "convert",
+            canon.to_str().unwrap(),
+            bgr.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let report: receipt::report::ConvertReport =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(report.kind, "convert");
+    assert_eq!(report.from, "text");
+    assert_eq!(report.to, "binary");
+    assert_eq!(report.num_edges, 5);
+    assert_eq!(report.bytes_out, std::fs::metadata(&bgr).unwrap().len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convert_rejects_corrupt_binary_with_pathful_error() {
+    let dir = temp_dir("convert_bad");
+    let bad = dir.join("bad.bgr");
+    // Long enough to hold a full 56-byte header, but the magic is wrong.
+    std::fs::write(&bad, [b"NOTABGR!".as_slice(), &[0u8; 64]].concat()).unwrap();
+    let out = bin()
+        .args([
+            "convert",
+            bad.to_str().unwrap(),
+            dir.join("out.tsv").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.bgr"), "{stderr}");
+    assert!(stderr.contains("magic"), "{stderr}");
+    assert!(
+        stderr.contains("while running `tipdecomp convert`"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Two durable applies, then a clean shutdown; `recover` must replay both,
+/// pass the oracle, and a second `serve --wal` must resume from the store.
+#[test]
+fn serve_wal_then_recover_end_to_end() {
+    let dir = temp_dir("recover");
+    let graph = write_fixture(&dir);
+    let store = dir.join("store");
+    let req = dir.join("req.txt");
+    // +2 1 completes two extra butterflies; -0 0 breaks u0's pair.
+    std::fs::write(
+        &req,
+        "{\"op\": \"apply\", \"ops\": [\"+2 1\"]}\n\
+         {\"op\": \"apply\", \"ops\": [\"-0 0\"]}\n\
+         {\"op\": \"shutdown\"}\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "serve",
+            graph.to_str().unwrap(),
+            "--requests",
+            req.to_str().unwrap(),
+            "--wal",
+            store.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("initialized store"),
+        "fresh dir initializes"
+    );
+
+    let out = bin()
+        .args(["recover", store.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: receipt::report::RecoverReport =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(report.kind, "recover");
+    assert_eq!(report.checkpoint_lsn, 0);
+    assert_eq!(report.wal_records, 2);
+    assert_eq!(report.replayed, 2);
+    assert_eq!(report.end_lsn, 2);
+    assert!(!report.torn_tail_repaired);
+    assert!(report.verified);
+    // After +2 1 there are 3 butterflies; -0 0 leaves only (u1, u2).
+    assert_eq!(report.total_butterflies, 1);
+    assert_eq!(report.final_epoch, 2);
+
+    // Reopening the store resumes at the recovered epoch: `stats` answers
+    // from epoch 2 even though the graph file on the command line still
+    // describes epoch 0.
+    std::fs::write(&req, "{\"op\": \"stats\"}\n{\"op\": \"shutdown\"}\n").unwrap();
+    let out = bin()
+        .args([
+            "serve",
+            graph.to_str().unwrap(),
+            "--requests",
+            req.to_str().unwrap(),
+            "--wal",
+            store.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("recovered store"),
+        "existing dir recovers"
+    );
+    let doc = String::from_utf8_lossy(&out.stdout);
+    let value = serde_json::from_str_value(&doc).unwrap();
+    let stats = &value["responses"].as_array().unwrap()[0]["stats"];
+    assert_eq!(stats["epoch"].as_u64(), Some(2), "{doc}");
+    assert_eq!(stats["total_butterflies"].as_u64(), Some(1), "{doc}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recover_without_store_exits_1() {
+    let dir = temp_dir("recover_missing");
+    let out = bin()
+        .args(["recover", dir.join("nothing").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no store at"), "{stderr}");
+    assert!(stderr.contains("nothing"), "{stderr}");
+    assert!(
+        stderr.contains("while running `tipdecomp recover`"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn stream_errors_name_the_ops_file() {
     let dir = temp_dir("stream_err");
     let graph = write_fixture(&dir);

@@ -127,6 +127,36 @@ fn serve_session_json_matches_golden() {
 }
 
 #[test]
+fn convert_json_matches_golden() {
+    let dir = fixture_dir("convert");
+    let doc = run_json(&dir, &["convert", "g.tsv", "g.bgr", "--json"]);
+    assert_golden(&doc, "convert_fixture.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Builds a deterministic store (init + two durable applies) via a
+/// scripted serve session, then snapshots the `recover` report — LSNs,
+/// replay counts, and tip checksums are all machine-independent.
+#[test]
+fn recover_json_matches_golden() {
+    let dir = fixture_dir("recover");
+    std::fs::write(
+        dir.join("req.txt"),
+        "{\"op\": \"apply\", \"ops\": [\"+2 1\"]}\n\
+         {\"op\": \"apply\", \"ops\": [\"-0 0\"]}\n\
+         {\"op\": \"shutdown\"}\n",
+    )
+    .unwrap();
+    run_json(
+        &dir,
+        &["serve", "g.tsv", "--requests", "req.txt", "--wal", "store"],
+    );
+    let doc = run_json(&dir, &["recover", "store", "--json"]);
+    assert_golden(&doc, "recover_fixture.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn json_round_trips_byte_identically() {
     // Independent of the snapshots: whatever the binary emits must
     // parse → re-serialize to the identical bytes (modulo the trailing

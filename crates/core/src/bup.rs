@@ -35,7 +35,8 @@ pub fn peel_all(view: SideGraph<'_>, init_support: &[u64], heap_arity: usize) ->
 
 /// [`peel_all`] parameterized by the priority queue — the §5.1 ablation
 /// (k-way indexed heap vs Fibonacci heap vs bucketing). Any
-/// [`DecreaseKeyQueue`] pre-loaded with the initial supports works.
+/// [`DecreaseKeyQueue`](crate::queue::DecreaseKeyQueue) pre-loaded with the
+/// initial supports works.
 pub fn peel_all_with_queue<Q: crate::queue::DecreaseKeyQueue>(
     view: SideGraph<'_>,
     n: usize,

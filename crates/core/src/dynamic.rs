@@ -30,12 +30,16 @@ use std::time::{Duration, Instant};
 /// How a batch's tip update was computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdatePolicy {
+    /// No butterflies changed — the decomposition is provably untouched.
     Unchanged,
+    /// Re-peel seeded with maintained counts, skipping the counting phase.
     SeededRepeel,
+    /// Full parallel CD + FD pipeline from scratch.
     FullRecompute,
 }
 
 impl UpdatePolicy {
+    /// The kebab-case name used in reports (`"seeded-repeel"`, ...).
     pub fn as_str(self) -> &'static str {
         match self {
             UpdatePolicy::Unchanged => "unchanged",
@@ -74,6 +78,7 @@ pub const DEFAULT_DIRTY_THRESHOLD: f64 = 0.2;
 /// One batch's tip-update telemetry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TipUpdate {
+    /// How this batch's tips were computed.
     pub policy: UpdatePolicy,
     /// Peel-side vertices on a butterfly the batch changed.
     pub dirty: usize,
@@ -81,6 +86,7 @@ pub struct TipUpdate {
     pub dirty_fraction: f64,
     /// Wedges traversed by the update (0 under `Unchanged`).
     pub wedges: u64,
+    /// Wall-clock time of the update.
     pub time: Duration,
 }
 
@@ -118,6 +124,7 @@ impl DynamicTipState {
         }
     }
 
+    /// The side whose tips this state maintains.
     pub fn side(&self) -> Side {
         self.side
     }
@@ -127,6 +134,7 @@ impl DynamicTipState {
         &self.tip
     }
 
+    /// Largest current tip number (0 on an empty side).
     pub fn theta_max(&self) -> u64 {
         self.tip.iter().copied().max().unwrap_or(0)
     }

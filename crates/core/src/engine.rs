@@ -19,11 +19,13 @@
 //! [`DynamicBigraph`]: bigraph::dynamic::DynamicBigraph
 
 use crate::dynamic::{verify_against_scratch, DynamicTipState, ScratchArtifacts, TipUpdate};
+use crate::wal::{DurableLog, Store, TailRepair};
 use crate::Config;
 use bigraph::dynamic::EdgeOp;
 use bigraph::{BipartiteCsr, Side, VertexId};
 use butterfly::{BatchDelta, DynamicButterflyIndex};
 use parking_lot::{Mutex, RwLock};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,8 +60,11 @@ impl Default for EngineOptions {
 /// butterfly count then ascending id, so the ordering is deterministic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DenseVertex {
+    /// Side-local vertex id.
     pub id: VertexId,
+    /// The vertex's tip number.
     pub tip: u64,
+    /// The vertex's butterfly count.
     pub butterflies: u64,
 }
 
@@ -90,6 +95,7 @@ impl EngineSnapshot {
         &self.graph
     }
 
+    /// Number of vertices on `side` at this epoch.
     pub fn num_side(&self, side: Side) -> usize {
         match side {
             Side::U => self.graph.num_u(),
@@ -97,6 +103,7 @@ impl EngineSnapshot {
         }
     }
 
+    /// Total butterflies in the graph at this epoch.
     pub fn total_butterflies(&self) -> u64 {
         self.total_butterflies
     }
@@ -137,6 +144,7 @@ impl EngineSnapshot {
         self.graph.edge_index(u, v).map(|eid| self.edge_counts[eid])
     }
 
+    /// Largest tip number on `side` (0 on an empty side).
     pub fn theta_max(&self, side: Side) -> u64 {
         self.tip_side(side).iter().copied().max().unwrap_or(0)
     }
@@ -189,7 +197,11 @@ pub struct BatchOutcome {
     /// From-scratch oracle artifacts and the time they cost — present iff
     /// the engine runs with `verify` on.
     pub scratch: Option<ScratchArtifacts>,
+    /// Wall-clock of the oracle check, when `verify` is on.
     pub time_verify: Option<Duration>,
+    /// WAL sequence number the batch was committed under — present iff
+    /// the engine is durable ([`StreamEngine::open_durable`]).
+    pub lsn: Option<u64>,
     /// The snapshot published for this epoch.
     pub snapshot: Arc<EngineSnapshot>,
 }
@@ -204,12 +216,15 @@ impl BatchOutcome {
     }
 }
 
-/// Mutable state behind the writer lock: the triple plus the epoch counter.
+/// Mutable state behind the writer lock: the triple plus the epoch
+/// counter and (for durable engines) the WAL sink, so append → apply →
+/// publish is atomic with respect to other writers.
 struct EngineCore {
     index: DynamicButterflyIndex,
     tip_u: DynamicTipState,
     tip_v: DynamicTipState,
     epoch: u64,
+    log: Option<DurableLog>,
 }
 
 impl EngineCore {
@@ -263,6 +278,7 @@ impl StreamEngine {
             tip_u,
             tip_v,
             epoch: 0,
+            log: None,
         };
         let snapshot = Arc::new(core.snapshot());
         StreamEngine {
@@ -272,6 +288,7 @@ impl StreamEngine {
         }
     }
 
+    /// The options the engine was constructed with.
     pub fn options(&self) -> &EngineOptions {
         &self.options
     }
@@ -296,9 +313,25 @@ impl StreamEngine {
     /// from-scratch oracles before publication; a divergence returns
     /// `Err` and publishes nothing.
     pub fn apply_batch(&self, ops: &[EdgeOp]) -> Result<BatchOutcome, String> {
+        self.apply_batch_inner(ops, true)
+    }
+
+    /// The shared batch path. With `durable` off the WAL is bypassed —
+    /// used by recovery to re-apply records that are already committed.
+    fn apply_batch_inner(&self, ops: &[EdgeOp], durable: bool) -> Result<BatchOutcome, String> {
         let mut guard = self.inner.lock();
         // Reborrow through the guard so the field borrows split.
         let core = &mut *guard;
+        // Append-then-apply: the record is durable (written + fsynced)
+        // before any in-memory state moves, so the WAL is never behind
+        // the published state.
+        let lsn = match (durable, core.log.as_mut()) {
+            (true, Some(log)) => Some(
+                log.append(ops)
+                    .map_err(|e| format!("wal append failed: {e}"))?,
+            ),
+            _ => None,
+        };
         let t0 = Instant::now();
         let delta = core.index.apply_batch(ops);
         let update_u = core.tip_u.update(&core.index, &delta);
@@ -317,6 +350,15 @@ impl StreamEngine {
         };
 
         *self.published.write() = Arc::clone(&snapshot);
+
+        // Checkpoint after publish: fold the fully applied base into a
+        // fresh binary snapshot when the cadence says one is due. The
+        // snapshot's materialized graph *is* the state at this LSN.
+        if let (Some(lsn), Some(log)) = (lsn, core.log.as_mut()) {
+            log.maybe_checkpoint(snapshot.graph(), lsn)
+                .map_err(|e| format!("checkpoint at lsn {lsn} failed: {e}"))?;
+        }
+
         Ok(BatchOutcome {
             epoch: core.epoch,
             delta,
@@ -325,6 +367,7 @@ impl StreamEngine {
             time,
             scratch,
             time_verify,
+            lsn,
             snapshot,
         })
     }
@@ -340,6 +383,111 @@ impl StreamEngine {
     pub fn compactions(&self) -> u64 {
         self.inner.lock().index.graph().compactions()
     }
+
+    /// LSN of the last committed batch, for durable engines.
+    pub fn end_lsn(&self) -> Option<u64> {
+        self.inner.lock().log.as_ref().map(|log| log.end_lsn())
+    }
+
+    /// LSN of the last checkpoint, for durable engines.
+    pub fn checkpoint_lsn(&self) -> Option<u64> {
+        self.inner
+            .lock()
+            .log
+            .as_ref()
+            .map(|log| log.checkpoint_lsn())
+    }
+
+    fn attach_log(&self, log: DurableLog) {
+        self.inner.lock().log = Some(log);
+    }
+
+    /// Opens (or initializes) a durable engine over the store directory
+    /// `dir` (`FORMATS.md` §4).
+    ///
+    /// * No store at `dir`: one is initialized from `init_graph` (an
+    ///   error if `None`) — snapshot at LSN 0, empty WAL.
+    /// * Existing store: the base snapshot is loaded, the WAL is
+    ///   recovered (torn tail repaired and reported), and every committed
+    ///   record past the checkpoint is replayed through the full triple
+    ///   before the engine is handed back. `init_graph` is ignored — the
+    ///   store is the durable truth.
+    ///
+    /// Subsequent [`Self::apply_batch`] calls append to the WAL before
+    /// applying, and fold a fresh checkpoint every `checkpoint_every`
+    /// batches (`0` = never).
+    pub fn open_durable(
+        dir: &Path,
+        init_graph: Option<BipartiteCsr>,
+        options: EngineOptions,
+        checkpoint_every: u64,
+    ) -> Result<(StreamEngine, RecoveryInfo), String> {
+        if !Store::exists(dir) {
+            let graph = init_graph.ok_or_else(|| {
+                format!(
+                    "no store at {} and no initial graph to create one from",
+                    dir.display()
+                )
+            })?;
+            let (store, wal) = Store::init(dir, &graph).map_err(|e| e.to_string())?;
+            let engine = StreamEngine::new(graph, options);
+            engine.attach_log(DurableLog::new(store, wal, 0, checkpoint_every));
+            return Ok((
+                engine,
+                RecoveryInfo {
+                    created: true,
+                    checkpoint_lsn: 0,
+                    wal_records: 0,
+                    replayed: 0,
+                    skipped: 0,
+                    end_lsn: 0,
+                    repaired: None,
+                },
+            ));
+        }
+        let rec = Store::recover(dir).map_err(|e| e.to_string())?;
+        let engine = StreamEngine::new(rec.graph, options);
+        for record in &rec.batches {
+            engine
+                .apply_batch_inner(&record.ops, false)
+                .map_err(|e| format!("replaying lsn {}: {e}", record.lsn))?;
+        }
+        let info = RecoveryInfo {
+            created: false,
+            checkpoint_lsn: rec.checkpoint_lsn,
+            wal_records: rec.skipped + rec.batches.len(),
+            replayed: rec.batches.len(),
+            skipped: rec.skipped,
+            end_lsn: rec.wal.end_lsn(),
+            repaired: rec.repair,
+        };
+        engine.attach_log(DurableLog::new(
+            rec.store,
+            rec.wal,
+            rec.checkpoint_lsn,
+            checkpoint_every,
+        ));
+        Ok((engine, info))
+    }
+}
+
+/// What [`StreamEngine::open_durable`] found on disk and did about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// `true` if no store existed and a fresh one was initialized.
+    pub created: bool,
+    /// The checkpoint pointer's LSN.
+    pub checkpoint_lsn: u64,
+    /// Committed records found in the WAL.
+    pub wal_records: usize,
+    /// Records past the checkpoint, replayed through the engine.
+    pub replayed: usize,
+    /// Records at or below the checkpoint, already folded into the base.
+    pub skipped: usize,
+    /// Last committed LSN — new appends continue from here.
+    pub end_lsn: u64,
+    /// The torn-tail repair performed on the WAL, if any.
+    pub repaired: Option<TailRepair>,
 }
 
 #[cfg(test)]
@@ -417,6 +565,87 @@ mod tests {
         assert_eq!((top[0].id, top[0].tip), (0, 1), "ties break by id");
         assert_eq!((top[1].id, top[1].tip), (1, 1));
         assert!(snap.top_k_densest(Side::U, 10).len() == 3, "k capped");
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("engine_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn durable_engine_survives_restart() {
+        let dir = temp_store("restart");
+        let g = gen::zipf(40, 30, 180, 0.5, 0.9, 71);
+        let schedule = seeded_schedule(&g, 3, 30, 73);
+        let (engine, info) =
+            StreamEngine::open_durable(&dir, Some(g), EngineOptions::default(), 0).unwrap();
+        assert!(info.created);
+        for batch in &schedule {
+            let outcome = engine.apply_batch(batch).unwrap();
+            assert_eq!(
+                outcome.lsn,
+                Some(outcome.epoch),
+                "fresh store: lsn == epoch"
+            );
+        }
+        let snap = engine.snapshot();
+        let (cu, cv) = (snap.tip_checksum(Side::U), snap.tip_checksum(Side::V));
+        drop(engine);
+
+        let (engine, info) =
+            StreamEngine::open_durable(&dir, None, EngineOptions::default(), 0).unwrap();
+        assert!(!info.created);
+        assert_eq!(info.replayed, schedule.len());
+        assert_eq!(info.end_lsn, schedule.len() as u64);
+        let snap = engine.snapshot();
+        assert_eq!(snap.tip_checksum(Side::U), cu);
+        assert_eq!(snap.tip_checksum(Side::V), cv);
+        engine.verify_against_scratch().unwrap();
+        // The recovered engine keeps appending at the right LSN.
+        let outcome = engine.apply_batch(&schedule[0]).unwrap();
+        assert_eq!(outcome.lsn, Some(schedule.len() as u64 + 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_engine_checkpoints_and_recovers_from_the_fold() {
+        let dir = temp_store("ckpt");
+        let g = gen::zipf(40, 30, 160, 0.5, 0.9, 81);
+        let schedule = seeded_schedule(&g, 5, 25, 83);
+        let (engine, _) =
+            StreamEngine::open_durable(&dir, Some(g), EngineOptions::default(), 2).unwrap();
+        for batch in &schedule {
+            engine.apply_batch(batch).unwrap();
+        }
+        // 5 batches, cadence 2: checkpoints at 2 and 4, one record left.
+        assert_eq!(engine.checkpoint_lsn(), Some(4));
+        assert_eq!(engine.end_lsn(), Some(5));
+        let snap = engine.snapshot();
+        let (cu, cv) = (snap.tip_checksum(Side::U), snap.tip_checksum(Side::V));
+        drop(engine);
+
+        let (engine, info) =
+            StreamEngine::open_durable(&dir, None, EngineOptions::default(), 2).unwrap();
+        assert_eq!(info.checkpoint_lsn, 4);
+        assert_eq!(info.replayed, 1);
+        let snap = engine.snapshot();
+        assert_eq!(snap.tip_checksum(Side::U), cu);
+        assert_eq!(snap.tip_checksum(Side::V), cv);
+        engine.verify_against_scratch().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_durable_without_store_or_graph_is_an_error() {
+        let dir = temp_store("nograph");
+        let err = match StreamEngine::open_durable(&dir, None, EngineOptions::default(), 0) {
+            Ok(_) => panic!("expected an error"),
+            Err(e) => e,
+        };
+        assert!(err.contains("no store at"), "{err}");
+        assert!(err.contains(dir.to_str().unwrap()), "pathful: {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

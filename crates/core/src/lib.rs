@@ -19,7 +19,10 @@
 //!   (the `tipdecomp stream` workload);
 //! * [`engine`] — the epoch-snapshot [`engine::StreamEngine`] owning the
 //!   dynamic triple and publishing immutable snapshots for concurrent
-//!   readers (the `tipdecomp serve` backend).
+//!   readers (the `tipdecomp serve` backend);
+//! * [`wal`] — the write-ahead log and checkpointed store (`FORMATS.md`)
+//!   that make the stream durable, with recovery proven exact by the
+//!   [`dynamic`] oracle.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub mod peel;
 pub mod queue;
 pub mod report;
 pub mod support;
+pub mod wal;
 pub mod wing;
 pub mod wing_parallel;
 

@@ -331,6 +331,74 @@ pub struct ServeSessionReport {
     pub time_session_secs: f64,
 }
 
+/// One `tipdecomp convert` run: a format conversion between the KONECT
+/// text edge list and the checksummed `BGR` binary image (`FORMATS.md`
+/// §1). `bytes_in`/`bytes_out` are on-disk file sizes — the load-cost
+/// comparison in EXPERIMENTS.md is built from them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvertReport {
+    pub schema_version: u32,
+    /// Always `"convert"`.
+    pub kind: String,
+    /// Source path, as given on the command line.
+    pub input: String,
+    /// Destination path.
+    pub output: String,
+    /// Source format: `"text"` or `"binary"`.
+    pub from: String,
+    /// Destination format: `"text"` or `"binary"`.
+    pub to: String,
+    pub num_u: usize,
+    pub num_v: usize,
+    pub num_edges: usize,
+    /// On-disk size of the source file.
+    pub bytes_in: u64,
+    /// On-disk size of the written file.
+    pub bytes_out: u64,
+    pub time_convert_secs: f64,
+}
+
+/// One `tipdecomp recover` run: what was found in the durable store
+/// directory, what the WAL replay did, and the from-scratch oracle verdict
+/// on the recovered state (`FORMATS.md` §4 recovery procedure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverReport {
+    pub schema_version: u32,
+    /// Always `"recover"`.
+    pub kind: String,
+    /// Store directory, as given on the command line.
+    pub dir: String,
+    /// LSN of the checkpoint the base snapshot was loaded from.
+    pub checkpoint_lsn: u64,
+    /// Committed records found in the WAL.
+    pub wal_records: usize,
+    /// Records past the checkpoint, replayed through the engine.
+    pub replayed: usize,
+    /// Records at or below the checkpoint, already folded into the base.
+    pub skipped: usize,
+    /// A torn tail was truncated off the WAL before replay.
+    pub torn_tail_repaired: bool,
+    /// Bytes the torn-tail repair discarded (0 if none).
+    pub discarded_bytes: u64,
+    /// Last committed LSN — new appends continue from here.
+    pub end_lsn: u64,
+    /// Engine epoch after replay (= records replayed).
+    pub final_epoch: u64,
+    pub num_u: usize,
+    pub num_v: usize,
+    pub num_edges: usize,
+    pub total_butterflies: u64,
+    /// FNV-1a digests of the recovered tip numbers in id order, per side.
+    pub tip_checksum_u: u64,
+    pub tip_checksum_v: u64,
+    /// The recovered state passed `verify_against_scratch` (a failure is a
+    /// run error, so an emitted report always says `true` — the field
+    /// records that the check ran).
+    pub verified: bool,
+    pub time_recover_secs: f64,
+    pub time_verify_secs: f64,
+}
+
 /// Canonicalizes every timing field in a parsed report so documents can be
 /// compared across runs and machines: object values under keys starting
 /// with `time_` are zeroed — `Duration` objects get `secs`/`nanos` set to

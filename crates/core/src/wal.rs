@@ -1,0 +1,1260 @@
+//! Write-ahead log and checkpointed store — `WAL`/`CKP` version 1 of
+//! `FORMATS.md` §2–4.
+//!
+//! A [`Wal`] is an append-only file of LSN-stamped [`EdgeOp`] batch
+//! records, each closed by an FNV-1a checksum; a batch is *committed* iff
+//! its complete, checksum-valid record is on disk. A [`Store`] pairs the
+//! log with a binary base snapshot (`checkpoint-<lsn>.bgr`, `FORMATS.md`
+//! §1) and a 40-byte commit pointer (`checkpoint.meta`) that binds the
+//! snapshot to a log position. Recovery loads the snapshot, replays the
+//! committed records past the checkpoint, and — uniquely for a WAL —
+//! can *prove* the result exact with the from-scratch oracle
+//! (`receipt::dynamic::verify_against_scratch`).
+//!
+//! Damage handling follows the spec's two-shape rule: a *torn tail*
+//! (file ends mid-record) is repairable by explicit recovery
+//! ([`Wal::recover`]) and a strict-open error otherwise; *corruption*
+//! (a complete record whose checksum or LSN is wrong) always fails
+//! closed.
+//!
+//! ```
+//! use bigraph::dynamic::EdgeOp;
+//! use receipt::wal::Wal;
+//!
+//! let dir = std::env::temp_dir().join("wal_doctest");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("wal.log");
+//! let mut wal = Wal::create(&path, 0).unwrap();
+//! assert_eq!(wal.append(&[EdgeOp::Insert(0, 1)]).unwrap(), 1);
+//! let (reopened, records) = Wal::open(&path).unwrap();
+//! assert_eq!(records.len(), 1);
+//! assert_eq!(reopened.end_lsn(), 1);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::dynamic::fnv1a_u64;
+use bigraph::binfmt::{self, BinError};
+use bigraph::dynamic::EdgeOp;
+use bigraph::BipartiteCsr;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening a WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"RCPTWAL\0";
+/// Magic bytes opening a checkpoint pointer.
+pub const CKP_MAGIC: [u8; 8] = *b"RCPTCKP\0";
+/// The single supported WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// The single supported checkpoint-pointer format version.
+pub const CKP_VERSION: u32 = 1;
+/// Endianness tag shared by every format in `FORMATS.md`.
+pub const ENDIAN_TAG: u32 = 0x0102_0304;
+/// Fixed WAL header length in bytes.
+pub const WAL_HEADER_LEN: u64 = 32;
+/// Fixed checkpoint-pointer length in bytes.
+pub const CKP_LEN: u64 = 40;
+
+const OP_INSERT: u32 = 0;
+const OP_DELETE: u32 = 1;
+
+/// Why a WAL could not be read, written, or appended to.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The first 8 bytes are not [`WAL_MAGIC`].
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 8],
+    },
+    /// A version other than [`WAL_VERSION`].
+    BadVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// An endianness tag other than [`ENDIAN_TAG`].
+    BadEndianness {
+        /// The tag actually found.
+        found: u32,
+    },
+    /// The header checksum disagrees with the recomputed one.
+    HeaderChecksum {
+        /// Stored checksum.
+        stored: u64,
+        /// Recomputed checksum.
+        computed: u64,
+    },
+    /// A complete record is damaged: bad checksum, broken LSN sequence,
+    /// or an undecodable op. Bit flips are not crashes — never repaired.
+    Corrupt {
+        /// LSN of the offending record (the expected one if the stored
+        /// LSN itself is implicated).
+        lsn: u64,
+        /// What exactly is wrong.
+        what: String,
+    },
+    /// The file ends mid-record. Strict opens fail with this;
+    /// [`Wal::recover`] truncates the torn bytes and reports the repair.
+    TornTail {
+        /// LSN of the last complete record before the tear.
+        last_lsn: u64,
+        /// Torn trailing bytes that would be discarded.
+        trailing_bytes: u64,
+    },
+    /// A cause annotated with the file it arose in.
+    File {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        error: Box<WalError>,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "i/o error: {e}"),
+            WalError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?} (not a WAL file)")
+            }
+            WalError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported WAL version {found} (expected {WAL_VERSION})"
+                )
+            }
+            WalError::BadEndianness { found } => {
+                write!(
+                    f,
+                    "bad endianness tag {found:#010x} (expected {ENDIAN_TAG:#010x})"
+                )
+            }
+            WalError::HeaderChecksum { stored, computed } => write!(
+                f,
+                "WAL header checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            WalError::Corrupt { lsn, what } => {
+                write!(f, "corrupt WAL record at lsn {lsn}: {what}")
+            }
+            WalError::TornTail {
+                last_lsn,
+                trailing_bytes,
+            } => write!(
+                f,
+                "torn WAL tail: {trailing_bytes} trailing bytes after lsn {last_lsn} \
+                 (an interrupted append; recover explicitly to repair)"
+            ),
+            WalError::File { path, error } => write!(f, "in {path}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// One committed batch record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Store-global batch sequence number (1 = first batch ever applied).
+    pub lsn: u64,
+    /// The batch, in its original order.
+    pub ops: Vec<EdgeOp>,
+}
+
+/// Byte extent of one record inside the file — exposed so crash
+/// harnesses can cut a WAL at exact record (or mid-record) boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// The record's LSN.
+    pub lsn: u64,
+    /// Byte offset of the record's first byte.
+    pub offset: u64,
+    /// Record length in bytes.
+    pub len: u64,
+}
+
+/// What a torn-tail repair discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailRepair {
+    /// Torn bytes removed from the end of the file.
+    pub discarded_bytes: u64,
+    /// File length after truncation.
+    pub truncated_to: u64,
+}
+
+fn header_checksum(base_lsn: u64) -> u64 {
+    fnv1a_u64(&[
+        u64::from_le_bytes(WAL_MAGIC),
+        (u64::from(WAL_VERSION) << 32) | u64::from(ENDIAN_TAG),
+        base_lsn,
+    ])
+}
+
+fn record_checksum(lsn: u64, ops: &[(u32, u32, u32)]) -> u64 {
+    let mut words = Vec::with_capacity(2 + 2 * ops.len());
+    words.push(lsn);
+    words.push(ops.len() as u64);
+    for &(kind, u, v) in ops {
+        words.push(u64::from(kind));
+        words.push((u64::from(u) << 32) | u64::from(v));
+    }
+    fnv1a_u64(&words)
+}
+
+fn encode_record(lsn: u64, ops: &[EdgeOp]) -> Vec<u8> {
+    let raw: Vec<(u32, u32, u32)> = ops
+        .iter()
+        .map(|op| match *op {
+            EdgeOp::Insert(u, v) => (OP_INSERT, u, v),
+            EdgeOp::Delete(u, v) => (OP_DELETE, u, v),
+        })
+        .collect();
+    let mut buf = Vec::with_capacity(24 + 12 * raw.len());
+    buf.extend_from_slice(&lsn.to_le_bytes());
+    buf.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    for &(kind, u, v) in &raw {
+        buf.extend_from_slice(&kind.to_le_bytes());
+        buf.extend_from_slice(&u.to_le_bytes());
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&record_checksum(lsn, &raw).to_le_bytes());
+    buf
+}
+
+/// Everything a full file walk yields.
+struct Walk {
+    base_lsn: u64,
+    records: Vec<WalRecord>,
+    spans: Vec<RecordSpan>,
+    /// Byte offset at which a torn tail begins (end of the last complete
+    /// valid record), if the file ends mid-record.
+    torn_at: Option<u64>,
+    file_len: u64,
+}
+
+fn walk(path: &Path) -> Result<Walk, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let file_len = bytes.len() as u64;
+    if file_len < WAL_HEADER_LEN {
+        return Err(WalError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("WAL shorter than its {WAL_HEADER_LEN}-byte header ({file_len} bytes)"),
+        )));
+    }
+    let magic: [u8; 8] = bytes[..8].try_into().unwrap();
+    if magic != WAL_MAGIC {
+        return Err(WalError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(WalError::BadVersion { found: version });
+    }
+    let endian = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if endian != ENDIAN_TAG {
+        return Err(WalError::BadEndianness { found: endian });
+    }
+    let base_lsn = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let stored = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let computed = header_checksum(base_lsn);
+    if stored != computed {
+        return Err(WalError::HeaderChecksum { stored, computed });
+    }
+
+    let mut records = Vec::new();
+    let mut spans = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut next_lsn = base_lsn + 1;
+    let mut torn_at = None;
+    while pos < bytes.len() {
+        // Torn tail: fewer bytes than a record prefix, or than the prefix
+        // declares. The prefix itself may be garbage from a torn write —
+        // but then the declared length check or the checksum of a
+        // "complete" record distinguishes the cases below.
+        if bytes.len() - pos < 16 {
+            torn_at = Some(pos as u64);
+            break;
+        }
+        let lsn = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        let op_count = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
+        let record_len = 16 + 12 * op_count as usize + 8;
+        if bytes.len() - pos < record_len {
+            torn_at = Some(pos as u64);
+            break;
+        }
+        let mut raw = Vec::with_capacity(op_count as usize);
+        let mut p = pos + 16;
+        for _ in 0..op_count {
+            let kind = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap());
+            let u = u32::from_le_bytes(bytes[p + 4..p + 8].try_into().unwrap());
+            let v = u32::from_le_bytes(bytes[p + 8..p + 12].try_into().unwrap());
+            raw.push((kind, u, v));
+            p += 12;
+        }
+        let stored_ck = u64::from_le_bytes(bytes[p..p + 8].try_into().unwrap());
+        let computed_ck = record_checksum(lsn, &raw);
+        if stored_ck != computed_ck {
+            // A complete-length record with a bad checksum *at the end of
+            // the file* can still be a torn write whose garbage bytes
+            // happened to parse as a length; only then is repair legal.
+            if pos + record_len == bytes.len() {
+                torn_at = Some(pos as u64);
+                break;
+            }
+            return Err(WalError::Corrupt {
+                lsn: next_lsn,
+                what: format!(
+                    "record checksum mismatch: stored {stored_ck:#018x}, computed {computed_ck:#018x}"
+                ),
+            });
+        }
+        if lsn != next_lsn {
+            return Err(WalError::Corrupt {
+                lsn: next_lsn,
+                what: format!("LSN sequence broken: found {lsn}, expected {next_lsn}"),
+            });
+        }
+        let mut ops = Vec::with_capacity(raw.len());
+        for &(kind, u, v) in &raw {
+            ops.push(match kind {
+                OP_INSERT => EdgeOp::Insert(u, v),
+                OP_DELETE => EdgeOp::Delete(u, v),
+                other => {
+                    return Err(WalError::Corrupt {
+                        lsn,
+                        what: format!("unknown op kind {other}"),
+                    })
+                }
+            });
+        }
+        spans.push(RecordSpan {
+            lsn,
+            offset: pos as u64,
+            len: record_len as u64,
+        });
+        records.push(WalRecord { lsn, ops });
+        pos += record_len;
+        next_lsn += 1;
+    }
+    Ok(Walk {
+        base_lsn,
+        records,
+        spans,
+        torn_at,
+        file_len,
+    })
+}
+
+fn wrap_path<T>(path: &Path, r: Result<T, WalError>) -> Result<T, WalError> {
+    r.map_err(|error| WalError::File {
+        path: path.display().to_string(),
+        error: Box::new(error),
+    })
+}
+
+/// An open, append-positioned write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    base_lsn: u64,
+    next_lsn: u64,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("base_lsn", &self.base_lsn)
+            .field("next_lsn", &self.next_lsn)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Creates (or truncates) a log whose records will start at
+    /// `base_lsn + 1`.
+    pub fn create<P: AsRef<Path>>(path: P, base_lsn: u64) -> Result<Wal, WalError> {
+        let path = path.as_ref();
+        let inner = || -> Result<Wal, WalError> {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            file.write_all(&WAL_MAGIC)?;
+            file.write_all(&WAL_VERSION.to_le_bytes())?;
+            file.write_all(&ENDIAN_TAG.to_le_bytes())?;
+            file.write_all(&base_lsn.to_le_bytes())?;
+            file.write_all(&header_checksum(base_lsn).to_le_bytes())?;
+            file.sync_all()?;
+            Ok(Wal {
+                path: path.to_path_buf(),
+                file,
+                base_lsn,
+                next_lsn: base_lsn + 1,
+            })
+        };
+        wrap_path(path, inner())
+    }
+
+    /// Strict open: full validation, every committed record returned, and
+    /// a torn tail is an *error* ([`WalError::TornTail`]) — repair is the
+    /// explicit job of [`Wal::recover`], never a side effect.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<(Wal, Vec<WalRecord>), WalError> {
+        let path = path.as_ref();
+        let inner = || -> Result<(Wal, Vec<WalRecord>), WalError> {
+            let w = walk(path)?;
+            if let Some(at) = w.torn_at {
+                return Err(WalError::TornTail {
+                    last_lsn: w.base_lsn + w.records.len() as u64,
+                    trailing_bytes: w.file_len - at,
+                });
+            }
+            let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+            file.seek(SeekFrom::End(0))?;
+            Ok((
+                Wal {
+                    path: path.to_path_buf(),
+                    file,
+                    base_lsn: w.base_lsn,
+                    next_lsn: w.base_lsn + w.records.len() as u64 + 1,
+                },
+                w.records,
+            ))
+        };
+        wrap_path(path, inner())
+    }
+
+    /// Recovery open: like [`Wal::open`], but a torn tail (the file ends
+    /// mid-record — an append interrupted by a crash) is truncated at the
+    /// last complete valid record and reported. Corruption of a complete
+    /// record still fails closed.
+    pub fn recover<P: AsRef<Path>>(
+        path: P,
+    ) -> Result<(Wal, Vec<WalRecord>, Option<TailRepair>), WalError> {
+        let path = path.as_ref();
+        let inner = || -> Result<(Wal, Vec<WalRecord>, Option<TailRepair>), WalError> {
+            let w = walk(path)?;
+            let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+            let repair = match w.torn_at {
+                Some(at) => {
+                    file.set_len(at)?;
+                    file.sync_all()?;
+                    Some(TailRepair {
+                        discarded_bytes: w.file_len - at,
+                        truncated_to: at,
+                    })
+                }
+                None => None,
+            };
+            file.seek(SeekFrom::End(0))?;
+            Ok((
+                Wal {
+                    path: path.to_path_buf(),
+                    file,
+                    base_lsn: w.base_lsn,
+                    next_lsn: w.base_lsn + w.records.len() as u64 + 1,
+                },
+                w.records,
+                repair,
+            ))
+        };
+        wrap_path(path, inner())
+    }
+
+    /// Walks a log without opening it for appends, returning each
+    /// committed record's byte extent. Strict (torn tail is an error).
+    pub fn scan<P: AsRef<Path>>(path: P) -> Result<Vec<RecordSpan>, WalError> {
+        let path = path.as_ref();
+        let inner = || -> Result<Vec<RecordSpan>, WalError> {
+            let w = walk(path)?;
+            if let Some(at) = w.torn_at {
+                return Err(WalError::TornTail {
+                    last_lsn: w.base_lsn + w.records.len() as u64,
+                    trailing_bytes: w.file_len - at,
+                });
+            }
+            Ok(w.spans)
+        };
+        wrap_path(path, inner())
+    }
+
+    /// Appends one batch as the next LSN, flushes, and fsyncs — the
+    /// record is durable when this returns. Returns the assigned LSN.
+    pub fn append(&mut self, ops: &[EdgeOp]) -> Result<u64, WalError> {
+        let lsn = self.next_lsn;
+        let buf = encode_record(lsn, ops);
+        let result = self
+            .file
+            .write_all(&buf)
+            .and_then(|()| self.file.sync_all())
+            .map_err(WalError::Io);
+        wrap_path(&self.path, result)?;
+        self.next_lsn += 1;
+        Ok(lsn)
+    }
+
+    /// First LSN of this file minus one (records run `base_lsn + 1 ..`).
+    pub fn base_lsn(&self) -> u64 {
+        self.base_lsn
+    }
+
+    /// LSN of the last committed record (`base_lsn` if the log is empty).
+    pub fn end_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Why a store directory could not be loaded or checkpointed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The WAL failed.
+    Wal(WalError),
+    /// The base snapshot failed.
+    Bin(BinError),
+    /// Underlying I/O failure, annotated with the path involved.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The failure.
+        error: io::Error,
+    },
+    /// `checkpoint.meta` is malformed.
+    Meta {
+        /// The pointer's path.
+        path: String,
+        /// What is wrong with it.
+        what: String,
+    },
+    /// The pointer claims batches the WAL never durably held
+    /// (`meta.lsn > wal_end` — e.g. a foreign pointer, or a log cut
+    /// below the commit point).
+    CheckpointAheadOfWal {
+        /// The pointer's LSN.
+        checkpoint_lsn: u64,
+        /// Last committed LSN the WAL actually covers.
+        wal_end: u64,
+        /// The store directory.
+        path: String,
+    },
+    /// Batches between the checkpoint and the log's first record are
+    /// unaccounted for (`wal.base_lsn > meta.lsn`).
+    WalAheadOfCheckpoint {
+        /// The WAL's base LSN.
+        base_lsn: u64,
+        /// The pointer's LSN.
+        checkpoint_lsn: u64,
+        /// The store directory.
+        path: String,
+    },
+    /// The pointer's graph checksum disagrees with the snapshot it names.
+    SnapshotChecksum {
+        /// The snapshot's path.
+        path: String,
+        /// Checksum stored in the pointer.
+        stored: u64,
+        /// The snapshot's actual header checksum.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Wal(e) => write!(f, "{e}"),
+            StoreError::Bin(e) => write!(f, "{e}"),
+            StoreError::Io { path, error } => write!(f, "in {path}: i/o error: {error}"),
+            StoreError::Meta { path, what } => {
+                write!(f, "in {path}: bad checkpoint pointer: {what}")
+            }
+            StoreError::CheckpointAheadOfWal {
+                checkpoint_lsn,
+                wal_end,
+                path,
+            } => write!(
+                f,
+                "in {path}: checkpoint newer than the WAL: pointer at lsn {checkpoint_lsn} \
+                 but the log's last committed record is lsn {wal_end}"
+            ),
+            StoreError::WalAheadOfCheckpoint {
+                base_lsn,
+                checkpoint_lsn,
+                path,
+            } => write!(
+                f,
+                "in {path}: WAL starts past the checkpoint: log base lsn {base_lsn} \
+                 but pointer at lsn {checkpoint_lsn} (records in between are lost)"
+            ),
+            StoreError::SnapshotChecksum {
+                path,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "in {path}: snapshot checksum mismatch: pointer stores {stored:#018x}, \
+                 snapshot header is {computed:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<WalError> for StoreError {
+    fn from(e: WalError) -> Self {
+        StoreError::Wal(e)
+    }
+}
+
+impl From<BinError> for StoreError {
+    fn from(e: BinError) -> Self {
+        StoreError::Bin(e)
+    }
+}
+
+/// The checkpoint pointer's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Every batch with LSN ≤ this is folded into the snapshot.
+    pub lsn: u64,
+    /// Header checksum of the referenced `.bgr` image.
+    pub graph_checksum: u64,
+}
+
+fn meta_checksum(lsn: u64, graph_checksum: u64) -> u64 {
+    fnv1a_u64(&[
+        u64::from_le_bytes(CKP_MAGIC),
+        (u64::from(CKP_VERSION) << 32) | u64::from(ENDIAN_TAG),
+        lsn,
+        graph_checksum,
+    ])
+}
+
+fn encode_meta(meta: CheckpointMeta) -> [u8; CKP_LEN as usize] {
+    let mut buf = [0u8; CKP_LEN as usize];
+    buf[..8].copy_from_slice(&CKP_MAGIC);
+    buf[8..12].copy_from_slice(&CKP_VERSION.to_le_bytes());
+    buf[12..16].copy_from_slice(&ENDIAN_TAG.to_le_bytes());
+    buf[16..24].copy_from_slice(&meta.lsn.to_le_bytes());
+    buf[24..32].copy_from_slice(&meta.graph_checksum.to_le_bytes());
+    buf[32..40].copy_from_slice(&meta_checksum(meta.lsn, meta.graph_checksum).to_le_bytes());
+    buf
+}
+
+fn decode_meta(path: &Path, bytes: &[u8]) -> Result<CheckpointMeta, StoreError> {
+    let fail = |what: String| StoreError::Meta {
+        path: path.display().to_string(),
+        what,
+    };
+    if bytes.len() != CKP_LEN as usize {
+        return Err(fail(format!(
+            "wrong length: expected {CKP_LEN} bytes, found {}",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != CKP_MAGIC {
+        return Err(fail(format!("bad magic {:02x?}", &bytes[..8])));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != CKP_VERSION {
+        return Err(fail(format!(
+            "unsupported version {version} (expected {CKP_VERSION})"
+        )));
+    }
+    let endian = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if endian != ENDIAN_TAG {
+        return Err(fail(format!("bad endianness tag {endian:#010x}")));
+    }
+    let lsn = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let graph_checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let stored = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+    let computed = meta_checksum(lsn, graph_checksum);
+    if stored != computed {
+        return Err(fail(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        )));
+    }
+    Ok(CheckpointMeta {
+        lsn,
+        graph_checksum,
+    })
+}
+
+/// A store directory (`FORMATS.md` §4): commit pointer + base snapshot +
+/// WAL.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+/// A fully validated store, loaded and ready to replay.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The store handle.
+    pub store: Store,
+    /// The base snapshot at `checkpoint_lsn`.
+    pub graph: BipartiteCsr,
+    /// The pointer's LSN.
+    pub checkpoint_lsn: u64,
+    /// Committed records with `lsn > checkpoint_lsn`, in LSN order —
+    /// exactly the batches replay must apply.
+    pub batches: Vec<WalRecord>,
+    /// Committed records at or below the checkpoint (already folded into
+    /// the snapshot; replay skips them).
+    pub skipped: usize,
+    /// The log, positioned for further appends.
+    pub wal: Wal,
+    /// The torn-tail repair performed, if any (recovery mode only).
+    pub repair: Option<TailRepair>,
+}
+
+impl Store {
+    /// The pointer path inside `dir`.
+    pub fn meta_path(dir: &Path) -> PathBuf {
+        dir.join("checkpoint.meta")
+    }
+
+    /// The WAL path inside `dir`.
+    pub fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.log")
+    }
+
+    /// The snapshot path for checkpoint `lsn` inside `dir`.
+    pub fn snapshot_path(dir: &Path, lsn: u64) -> PathBuf {
+        dir.join(format!("checkpoint-{lsn}.bgr"))
+    }
+
+    /// Whether `dir` holds a store (its commit pointer exists).
+    pub fn exists(dir: &Path) -> bool {
+        Self::meta_path(dir).is_file()
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn io_err(path: &Path, error: io::Error) -> StoreError {
+        StoreError::Io {
+            path: path.display().to_string(),
+            error,
+        }
+    }
+
+    /// Atomic replace: write to a sibling temp file, then rename over the
+    /// target.
+    fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = path.with_extension("tmp");
+        let inner = |p: &Path| -> io::Result<()> {
+            let mut f = File::create(p)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            Ok(())
+        };
+        inner(&tmp).map_err(|e| Self::io_err(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| Self::io_err(path, e))?;
+        Ok(())
+    }
+
+    /// Initializes a fresh store in `dir` (created if missing): snapshot
+    /// of `graph` at LSN 0, pointer, empty WAL. Returns the handle and
+    /// the append-ready log.
+    pub fn init(dir: &Path, graph: &BipartiteCsr) -> Result<(Store, Wal), StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| Self::io_err(dir, e))?;
+        let store = Store {
+            dir: dir.to_path_buf(),
+        };
+        let wal = store.write_checkpoint(graph, 0)?;
+        Ok((store, wal))
+    }
+
+    /// Writes a checkpoint at `lsn` per the §4 procedure: snapshot →
+    /// pointer (the commit) → fresh WAL → stale snapshot cleanup.
+    /// Returns the fresh append-ready log that replaces the old one.
+    pub fn write_checkpoint(&self, graph: &BipartiteCsr, lsn: u64) -> Result<Wal, StoreError> {
+        let snap_path = Self::snapshot_path(&self.dir, lsn);
+        let tmp = snap_path.with_extension("bgr.tmp");
+        let graph_checksum = binfmt::write_binary_graph_path(&tmp, graph)?;
+        std::fs::rename(&tmp, &snap_path).map_err(|e| Self::io_err(&snap_path, e))?;
+        Self::write_atomic(
+            &Self::meta_path(&self.dir),
+            &encode_meta(CheckpointMeta {
+                lsn,
+                graph_checksum,
+            }),
+        )?;
+        let wal = Wal::create(Self::wal_path(&self.dir), lsn)?;
+        // Best-effort cleanup: stale snapshots are unreferenced garbage.
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(tag) = name
+                    .strip_prefix("checkpoint-")
+                    .and_then(|s| s.strip_suffix(".bgr"))
+                {
+                    if !tag.parse::<u64>().is_ok_and(|j| j == lsn) {
+                        std::fs::remove_file(entry.path()).ok();
+                    }
+                }
+            }
+        }
+        Ok(wal)
+    }
+
+    fn load(dir: &Path, repair: bool) -> Result<Recovered, StoreError> {
+        let meta_path = Self::meta_path(dir);
+        let bytes = std::fs::read(&meta_path).map_err(|e| Self::io_err(&meta_path, e))?;
+        let meta = decode_meta(&meta_path, &bytes)?;
+        let snap_path = Self::snapshot_path(dir, meta.lsn);
+        let snapshot = binfmt::read_binary_graph_path(&snap_path)?;
+        if snapshot.header_checksum != meta.graph_checksum {
+            return Err(StoreError::SnapshotChecksum {
+                path: snap_path.display().to_string(),
+                stored: meta.graph_checksum,
+                computed: snapshot.header_checksum,
+            });
+        }
+        let wal_path = Self::wal_path(dir);
+        let (wal, records, tail_repair) = if repair {
+            Wal::recover(&wal_path)?
+        } else {
+            let (wal, records) = Wal::open(&wal_path)?;
+            (wal, records, None)
+        };
+        // Store invariant: wal.base_lsn ≤ meta.lsn ≤ wal_end.
+        if wal.base_lsn() > meta.lsn {
+            return Err(StoreError::WalAheadOfCheckpoint {
+                base_lsn: wal.base_lsn(),
+                checkpoint_lsn: meta.lsn,
+                path: dir.display().to_string(),
+            });
+        }
+        if meta.lsn > wal.end_lsn() {
+            return Err(StoreError::CheckpointAheadOfWal {
+                checkpoint_lsn: meta.lsn,
+                wal_end: wal.end_lsn(),
+                path: dir.display().to_string(),
+            });
+        }
+        let (skipped, batches): (Vec<_>, Vec<_>) =
+            records.into_iter().partition(|r| r.lsn <= meta.lsn);
+        Ok(Recovered {
+            store: Store {
+                dir: dir.to_path_buf(),
+            },
+            graph: snapshot.graph,
+            checkpoint_lsn: meta.lsn,
+            batches,
+            skipped: skipped.len(),
+            wal,
+            repair: tail_repair,
+        })
+    }
+
+    /// Strict load: full validation, torn tail is an error.
+    pub fn open(dir: &Path) -> Result<Recovered, StoreError> {
+        Self::load(dir, false)
+    }
+
+    /// Recovery load: like [`Store::open`] but a torn WAL tail is
+    /// repaired (truncated and reported). Everything else still fails
+    /// closed.
+    pub fn recover(dir: &Path) -> Result<Recovered, StoreError> {
+        Self::load(dir, true)
+    }
+}
+
+/// Batches between automatic checkpoints when a durable engine is not
+/// told otherwise.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 8;
+
+/// The engine-facing durability sink: a [`Store`] plus its live [`Wal`]
+/// and the checkpoint cadence.
+#[derive(Debug)]
+pub struct DurableLog {
+    store: Store,
+    wal: Wal,
+    checkpoint_every: u64,
+    checkpoint_lsn: u64,
+}
+
+impl DurableLog {
+    /// Assembles the sink from a store, its append-ready log, and the
+    /// cadence (`0` = never checkpoint automatically).
+    pub fn new(store: Store, wal: Wal, checkpoint_lsn: u64, checkpoint_every: u64) -> Self {
+        DurableLog {
+            store,
+            wal,
+            checkpoint_every,
+            checkpoint_lsn,
+        }
+    }
+
+    /// Appends one batch; durable when this returns. Returns the LSN.
+    pub fn append(&mut self, ops: &[EdgeOp]) -> Result<u64, WalError> {
+        self.wal.append(ops)
+    }
+
+    /// Checkpoints at `lsn` if the cadence says one is due; `graph` must
+    /// be the fully applied state at `lsn`. Returns whether it happened.
+    pub fn maybe_checkpoint(&mut self, graph: &BipartiteCsr, lsn: u64) -> Result<bool, StoreError> {
+        if self.checkpoint_every == 0 || lsn - self.checkpoint_lsn < self.checkpoint_every {
+            return Ok(false);
+        }
+        self.wal = self.store.write_checkpoint(graph, lsn)?;
+        self.checkpoint_lsn = lsn;
+        Ok(true)
+    }
+
+    /// LSN of the last checkpoint.
+    pub fn checkpoint_lsn(&self) -> u64 {
+        self.checkpoint_lsn
+    }
+
+    /// LSN of the last committed record.
+    pub fn end_lsn(&self) -> u64 {
+        self.wal.end_lsn()
+    }
+
+    /// The underlying store directory.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::builder::from_edges;
+    use bigraph::gen;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("receipt_wal_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ops_a() -> Vec<EdgeOp> {
+        vec![EdgeOp::Insert(0, 1), EdgeOp::Delete(2, 3)]
+    }
+
+    #[test]
+    fn append_open_round_trip() {
+        let dir = tmp("round");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        assert_eq!(wal.append(&ops_a()).unwrap(), 1);
+        assert_eq!(wal.append(&[]).unwrap(), 2, "empty batches are records");
+        assert_eq!(wal.append(&[EdgeOp::Insert(7, 7)]).unwrap(), 3);
+        let (reopened, records) = Wal::open(&path).unwrap();
+        assert_eq!(reopened.base_lsn(), 0);
+        assert_eq!(reopened.end_lsn(), 3);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].ops, ops_a());
+        assert!(records[1].ops.is_empty());
+        assert_eq!(records[2].lsn, 3);
+        let spans = Wal::scan(&path).unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].offset, WAL_HEADER_LEN);
+        assert_eq!(spans[0].len, 16 + 12 * 2 + 8);
+        assert_eq!(spans[1].offset, spans[0].offset + spans[0].len);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopened_wal_continues_the_lsn_sequence() {
+        let dir = tmp("continue");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 5).unwrap();
+        assert_eq!(wal.append(&ops_a()).unwrap(), 6);
+        drop(wal);
+        let (mut wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(wal.append(&ops_a()).unwrap(), 7);
+        let (_, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.last().unwrap().lsn, 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_strict_errors_and_recover_repairs() {
+        let dir = tmp("torn");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(&ops_a()).unwrap();
+        wal.append(&[EdgeOp::Insert(1, 1); 4]).unwrap();
+        drop(wal);
+        let spans = Wal::scan(&path).unwrap();
+        let cut = spans[1].offset + spans[1].len / 2;
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        let err = Wal::open(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("torn WAL tail"), "{msg}");
+        assert!(msg.contains("wal.log"), "pathful: {msg}");
+
+        let (wal, records, repair) = Wal::recover(&path).unwrap();
+        assert_eq!(records.len(), 1, "only the complete record survives");
+        assert_eq!(wal.end_lsn(), 1);
+        let repair = repair.unwrap();
+        assert_eq!(repair.truncated_to, spans[1].offset);
+        assert_eq!(repair.discarded_bytes, cut - spans[1].offset);
+        // After repair the file is strictly clean again.
+        drop(wal);
+        Wal::open(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflip_in_interior_record_fails_closed_in_both_modes() {
+        let dir = tmp("bitflip");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(&ops_a()).unwrap();
+        wal.append(&ops_a()).unwrap();
+        drop(wal);
+        let spans = Wal::scan(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip an op byte of record 1 (interior: record 2 follows).
+        bytes[(spans[0].offset + 17) as usize] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        for result in [
+            Wal::open(&path).map(|_| ()),
+            Wal::recover(&path).map(|_| ()),
+        ] {
+            let msg = result.unwrap_err().to_string();
+            assert!(msg.contains("corrupt WAL record at lsn 1"), "{msg}");
+            assert!(msg.contains("wal.log"), "pathful: {msg}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lsn_sequence_break_is_corruption() {
+        let dir = tmp("lsn");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(&ops_a()).unwrap();
+        drop(wal);
+        // Rewrite record 1 as lsn 9 with a *valid* checksum: sequence check
+        // must still refuse it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(WAL_HEADER_LEN as usize);
+        bytes.extend_from_slice(&encode_record(9, &ops_a()));
+        std::fs::write(&path, &bytes).unwrap();
+        let msg = Wal::open(&path).unwrap_err().to_string();
+        assert!(msg.contains("LSN sequence broken"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_header_hostility() {
+        let dir = tmp("header");
+        let path = dir.join("wal.log");
+        Wal::create(&path, 0).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(WalError::File { error, .. }) if matches!(*error, WalError::BadMagic { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&2u32.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(WalError::File { error, .. }) if matches!(*error, WalError::BadVersion { found: 2 })
+        ));
+
+        let mut bad = good;
+        bad[16] ^= 1; // base_lsn tampered without fixing the checksum
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(WalError::File { error, .. })
+                if matches!(*error, WalError::HeaderChecksum { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_init_open_and_checkpoint_cycle() {
+        let dir = tmp("store");
+        let g = gen::zipf(30, 20, 100, 0.5, 0.9, 3);
+        let (store, mut wal) = Store::init(&dir, &g).unwrap();
+        wal.append(&ops_a()).unwrap();
+        wal.append(&ops_a()).unwrap();
+        drop(wal);
+
+        let rec = Store::open(&dir).unwrap();
+        assert_eq!(rec.checkpoint_lsn, 0);
+        assert_eq!(rec.batches.len(), 2);
+        assert_eq!(rec.skipped, 0);
+        assert_eq!(rec.graph, g);
+        drop(rec);
+
+        // Fold a new base at lsn 2: wal resets, pointer advances, the old
+        // snapshot is gone.
+        let g2 = from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let mut wal = store.write_checkpoint(&g2, 2).unwrap();
+        assert_eq!(wal.base_lsn(), 2);
+        assert_eq!(wal.append(&ops_a()).unwrap(), 3);
+        assert!(Store::snapshot_path(&dir, 2).is_file());
+        assert!(!Store::snapshot_path(&dir, 0).is_file());
+        drop(wal);
+        let rec = Store::open(&dir).unwrap();
+        assert_eq!(rec.checkpoint_lsn, 2);
+        assert_eq!(rec.graph, g2);
+        assert_eq!(rec.batches.len(), 1);
+        assert_eq!(rec.batches[0].lsn, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_skips_records_already_folded() {
+        // Crash between pointer commit and WAL reset: log still starts at
+        // the old base and replay must skip the folded prefix.
+        let dir = tmp("folded");
+        let g = from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let (store, mut wal) = Store::init(&dir, &g).unwrap();
+        wal.append(&ops_a()).unwrap();
+        wal.append(&ops_a()).unwrap();
+        wal.append(&ops_a()).unwrap();
+        drop(wal);
+        let old_wal = std::fs::read(Store::wal_path(&dir)).unwrap();
+        store.write_checkpoint(&g, 2).unwrap();
+        // Simulate the crash by restoring the pre-checkpoint log.
+        std::fs::write(Store::wal_path(&dir), &old_wal).unwrap();
+        let rec = Store::open(&dir).unwrap();
+        assert_eq!(rec.checkpoint_lsn, 2);
+        assert_eq!(rec.skipped, 2);
+        assert_eq!(rec.batches.len(), 1);
+        assert_eq!(rec.batches[0].lsn, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_ahead_of_wal_fails_closed() {
+        let dir = tmp("ahead");
+        let g = from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let (store, mut wal) = Store::init(&dir, &g).unwrap();
+        wal.append(&ops_a()).unwrap();
+        drop(wal);
+        // Hand-advance the pointer to lsn 5 with a valid checksum and a
+        // matching snapshot file: the WAL only reaches lsn 1.
+        let ck = binfmt::write_binary_graph_path(Store::snapshot_path(&dir, 5), &g).unwrap();
+        Store::write_atomic(
+            &Store::meta_path(&dir),
+            &encode_meta(CheckpointMeta {
+                lsn: 5,
+                graph_checksum: ck,
+            }),
+        )
+        .unwrap();
+        let err = Store::recover(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            matches!(
+                err,
+                StoreError::CheckpointAheadOfWal {
+                    checkpoint_lsn: 5,
+                    wal_end: 1,
+                    ..
+                }
+            ),
+            "{msg}"
+        );
+        assert!(msg.contains(dir.to_str().unwrap()), "pathful: {msg}");
+        let _ = store;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_ahead_of_checkpoint_fails_closed() {
+        let dir = tmp("gap");
+        let g = from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let (_store, wal) = Store::init(&dir, &g).unwrap();
+        drop(wal);
+        // Replace the log with one that starts past the pointer.
+        Wal::create(Store::wal_path(&dir), 3).unwrap();
+        let err = Store::open(&dir).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::WalAheadOfCheckpoint {
+                    base_lsn: 3,
+                    checkpoint_lsn: 0,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn meta_tamper_and_snapshot_binding_fail_closed() {
+        let dir = tmp("meta");
+        let g = from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let (_store, wal) = Store::init(&dir, &g).unwrap();
+        drop(wal);
+        let meta_path = Store::meta_path(&dir);
+        let good = std::fs::read(&meta_path).unwrap();
+
+        let mut bad = good.clone();
+        bad[16] ^= 1;
+        std::fs::write(&meta_path, &bad).unwrap();
+        let msg = Store::open(&dir).unwrap_err().to_string();
+        assert!(msg.contains("bad checkpoint pointer"), "{msg}");
+        assert!(msg.contains("checkpoint.meta"), "pathful: {msg}");
+
+        // Pointer intact, snapshot swapped: the checksum binding trips.
+        std::fs::write(&meta_path, &good).unwrap();
+        let other = from_edges(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        binfmt::write_binary_graph_path(Store::snapshot_path(&dir, 0), &other).unwrap();
+        let err = Store::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::SnapshotChecksum { .. }), "{err}");
+        assert!(err.to_string().contains("checkpoint-0.bgr"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_log_checkpoints_on_cadence() {
+        let dir = tmp("cadence");
+        let g = from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let (store, wal) = Store::init(&dir, &g).unwrap();
+        let mut log = DurableLog::new(store, wal, 0, 2);
+        assert_eq!(log.append(&ops_a()).unwrap(), 1);
+        assert!(!log.maybe_checkpoint(&g, 1).unwrap());
+        assert_eq!(log.append(&ops_a()).unwrap(), 2);
+        assert!(log.maybe_checkpoint(&g, 2).unwrap());
+        assert_eq!(log.checkpoint_lsn(), 2);
+        assert_eq!(log.append(&ops_a()).unwrap(), 3, "lsn survives the fold");
+        let rec = Store::open(&dir).unwrap();
+        assert_eq!(rec.checkpoint_lsn, 2);
+        assert_eq!(rec.batches.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -236,7 +236,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length distribution for [`vec`].
+    /// Length distribution for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive

@@ -1,9 +1,9 @@
 //! Parallel iterator subset.
 //!
 //! Every pipeline is a tree of adapter structs; a terminal method asks the
-//! tree for up to [`crate::split_hint`] independent [`Part`]s (an ordered
+//! tree for up to `crate::split_hint` independent [`Part`]s (an ordered
 //! sequential iterator plus its global start offset) and drives them as
-//! persistent-pool jobs via [`crate::run_parts`]. The hint splits
+//! persistent-pool jobs via `crate::run_parts`. The hint splits
 //! adaptively — the full ambient budget when thieves could take the parts,
 //! sequential when every pool thread is already busy — instead of a fixed
 //! chunk count. Sources split by index arithmetic, so no items are

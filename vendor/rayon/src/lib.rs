@@ -9,7 +9,7 @@
 //!   `reduce`, `for_each`, `sum`, `max`, `collect`);
 //! * a real **parallel merge sort** behind `par_sort_unstable`/`_by`/
 //!   `_by_key` (per-worker runs + parallel pairwise merge, sequential
-//!   below ~4k elements — see [`sort`]);
+//!   below ~4k elements — see `sort.rs`);
 //! * [`join`] — the fork-join primitive, executed on the pool;
 //! * `ThreadPoolBuilder`/`ThreadPool::install` and `current_num_threads`,
 //!   implemented as a thread-local *parallelism budget*: `install` scopes
@@ -25,7 +25,7 @@
 //! rebalance dynamically instead of contending on one queue (see [`pool`]).
 //! Parallel terminals and the sort's merges split **adaptively**: while
 //! idle thieves exist a construct forks, otherwise it runs sequentially
-//! ([`split_hint`] / `pool::split_wanted`), replacing fixed chunk counts.
+//! (`split_hint` / `pool::split_wanted`), replacing fixed chunk counts.
 //! [`scheduler_stats`] snapshots the scheduler's counters (tasks executed
 //! per worker, steals, injector traffic) for tests and the CI bench gate.
 //!

@@ -3,7 +3,7 @@
 //! A lazily-initialized, process-global set of OS workers executes erased
 //! closures. Scheduling follows the classic Chase–Lev shape, adapted to a
 //! shim (the deques are mutex-protected, not lock-free, which is plenty
-//! under ≤ [`MAX_WORKERS`] threads):
+//! under ≤ `MAX_WORKERS` threads):
 //!
 //! * every worker owns a **deque**: it pushes and pops its own jobs at the
 //!   back (LIFO, so nested fork-join stays depth-first and stack-bounded)
@@ -21,23 +21,23 @@
 //! Two invariants make borrowed (non-`'static`) jobs and nested
 //! parallelism sound, unchanged from the single-queue design:
 //!
-//! 1. **Blocking bounds borrows.** [`run_batch`] and `scope` do not
+//! 1. **Blocking bounds borrows.** `run_batch` and `scope` do not
 //!    return — not even by unwinding — until their latch reports every
 //!    submitted job finished, so lifetime-erased closures never outlive
 //!    the data they borrow.
 //! 2. **Every waiter is a worker.** While a latch is open, the waiting
-//!    thread runs jobs itself ([`help_until_done`]): its own deque first
+//!    thread runs jobs itself (`help_until_done`): its own deque first
 //!    (its children), then steals, then the injector. A fixed-size pool
 //!    whose blocked callers also drain queues cannot deadlock on nested
 //!    batches; parking uses a short timeout as a lost-wakeup safety net on
 //!    top of the condvar protocol. Parked waiters count as *idle thieves*
-//!    for the adaptive-split heuristic ([`split_wanted`]) — they poll for
+//!    for the adaptive-split heuristic (`split_wanted`) — they poll for
 //!    work every 200µs, so a split made on their behalf is picked up
 //!    almost immediately.
 //!
 //! The pool grows monotonically: a batch submitted under parallelism
 //! budget `b` ensures `b − 1` workers exist (its caller is the `b`-th),
-//! capped at [`MAX_WORKERS`]. Concurrency is still capped per batch by
+//! capped at `MAX_WORKERS`. Concurrency is still capped per batch by
 //! the number of jobs the budget allowed the terminal to create, so
 //! nested `ThreadPool::install` budgets keep their meaning even though
 //! all pools share one worker set.
