@@ -686,6 +686,11 @@ pub fn handle_request(
             let outcome = engine
                 .apply_batch(&batch)
                 .map_err(|e| format!("apply (seq {seq}): {e}"))?;
+            // A failed checkpoint fold is non-fatal (the batch is
+            // committed and published): warn and keep serving.
+            if let Some(warning) = &outcome.checkpoint_error {
+                eprintln!("wal: warning: {warning}; retrying at the next boundary");
+            }
             response.epoch = outcome.epoch;
             response.batch = Some(receipt::report::StreamBatchReport::from_outcome(
                 outcome.epoch as usize - 1,

@@ -202,6 +202,10 @@ pub struct BatchOutcome {
     /// WAL sequence number the batch was committed under — present iff
     /// the engine is durable ([`StreamEngine::open_durable`]).
     pub lsn: Option<u64>,
+    /// Why the post-publish checkpoint fold failed, if it did. Non-fatal:
+    /// the batch itself is committed and applied, the previous WAL and
+    /// checkpoint stay in effect, and the next due boundary retries.
+    pub checkpoint_error: Option<String>,
     /// The snapshot published for this epoch.
     pub snapshot: Arc<EngineSnapshot>,
 }
@@ -312,6 +316,12 @@ impl StreamEngine {
     /// With `verify` on, the batch is differentially checked against the
     /// from-scratch oracles before publication; a divergence returns
     /// `Err` and publishes nothing.
+    ///
+    /// For durable engines, a checkpoint fold that fails *after* the
+    /// batch is committed and published is never an `Err` (retrying the
+    /// batch would double-apply it) — it rides the outcome as
+    /// [`BatchOutcome::checkpoint_error`] and the fold is retried at the
+    /// next due boundary.
     pub fn apply_batch(&self, ops: &[EdgeOp]) -> Result<BatchOutcome, String> {
         self.apply_batch_inner(ops, true)
     }
@@ -353,11 +363,18 @@ impl StreamEngine {
 
         // Checkpoint after publish: fold the fully applied base into a
         // fresh binary snapshot when the cadence says one is due. The
-        // snapshot's materialized graph *is* the state at this LSN.
-        if let (Some(lsn), Some(log)) = (lsn, core.log.as_mut()) {
-            log.maybe_checkpoint(snapshot.graph(), lsn)
-                .map_err(|e| format!("checkpoint at lsn {lsn} failed: {e}"))?;
-        }
+        // snapshot's materialized graph *is* the state at this LSN. A
+        // failed fold is NOT a batch failure — by now the batch is
+        // WAL-committed, applied, and published, and an `Err` here would
+        // invite a retry that double-applies the ops — so the error rides
+        // the outcome and the old WAL/cadence retry at the next boundary.
+        let checkpoint_error = match (lsn, core.log.as_mut()) {
+            (Some(lsn), Some(log)) => log
+                .maybe_checkpoint(snapshot.graph(), lsn)
+                .err()
+                .map(|e| format!("checkpoint at lsn {lsn} failed: {e}")),
+            _ => None,
+        };
 
         Ok(BatchOutcome {
             epoch: core.epoch,
@@ -368,6 +385,7 @@ impl StreamEngine {
             scratch,
             time_verify,
             lsn,
+            checkpoint_error,
             snapshot,
         })
     }
@@ -633,6 +651,35 @@ mod tests {
         assert_eq!(snap.tip_checksum(Side::U), cu);
         assert_eq!(snap.tip_checksum(Side::V), cv);
         engine.verify_against_scratch().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_failure_is_nonfatal_and_retried_at_the_next_boundary() {
+        let dir = temp_store("ckpt_fail");
+        let g = from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        let (engine, _) =
+            StreamEngine::open_durable(&dir, Some(g), EngineOptions::default(), 1).unwrap();
+        // Sabotage the fold: with the store directory gone the snapshot
+        // temp file cannot be created, but the WAL append still reaches
+        // the already-open file handle — the batch commits fine.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let outcome = engine.apply_batch(&[EdgeOp::Insert(1, 1)]).unwrap();
+        assert_eq!(outcome.lsn, Some(1), "batch committed despite the fold");
+        let err = outcome
+            .checkpoint_error
+            .as_deref()
+            .expect("fold must fail with the directory gone");
+        assert!(err.contains("checkpoint at lsn 1 failed"), "{err}");
+        // Applied and published; the old checkpoint/cadence stay put.
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.checkpoint_lsn(), Some(0), "old checkpoint kept");
+        assert_eq!(engine.end_lsn(), Some(1));
+        // Restore the directory: the next boundary retries and succeeds.
+        std::fs::create_dir_all(&dir).unwrap();
+        let outcome = engine.apply_batch(&[EdgeOp::Delete(0, 1)]).unwrap();
+        assert_eq!(outcome.checkpoint_error, None);
+        assert_eq!(engine.checkpoint_lsn(), Some(2));
         std::fs::remove_dir_all(&dir).ok();
     }
 

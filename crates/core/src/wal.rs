@@ -276,9 +276,9 @@ fn walk(path: &Path) -> Result<Walk, WalError> {
     let mut torn_at = None;
     while pos < bytes.len() {
         // Torn tail: fewer bytes than a record prefix, or than the prefix
-        // declares. The prefix itself may be garbage from a torn write —
-        // but then the declared length check or the checksum of a
-        // "complete" record distinguishes the cases below.
+        // declares. Only an incomplete record is a tear; a record whose
+        // declared bytes are all present is judged by its checksum and
+        // fails closed on mismatch, wherever it sits in the file.
         if bytes.len() - pos < 16 {
             torn_at = Some(pos as u64);
             break;
@@ -302,13 +302,11 @@ fn walk(path: &Path) -> Result<Walk, WalError> {
         let stored_ck = u64::from_le_bytes(bytes[p..p + 8].try_into().unwrap());
         let computed_ck = record_checksum(lsn, &raw);
         if stored_ck != computed_ck {
-            // A complete-length record with a bad checksum *at the end of
-            // the file* can still be a torn write whose garbage bytes
-            // happened to parse as a length; only then is repair legal.
-            if pos + record_len == bytes.len() {
-                torn_at = Some(pos as u64);
-                break;
-            }
+            // A complete-length record with a bad checksum is corruption
+            // even when it is the last record in the file (FORMATS.md §2:
+            // recovery repairs only a provably incomplete tail, never a
+            // complete record) — truncating here would silently drop a
+            // committed, acknowledged, fsynced batch.
             return Err(WalError::Corrupt {
                 lsn: next_lsn,
                 what: format!(
@@ -360,6 +358,18 @@ fn wrap_path<T>(path: &Path, r: Result<T, WalError>) -> Result<T, WalError> {
     })
 }
 
+/// Fsyncs a directory so preceding renames/unlinks inside it are durable
+/// across power loss, not just process death.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// The parent directory to sync after a rename targeting `path` (skips
+/// the empty parent of a bare relative filename).
+fn parent_dir(path: &Path) -> Option<&Path> {
+    path.parent().filter(|p| !p.as_os_str().is_empty())
+}
+
 /// An open, append-positioned write-ahead log.
 pub struct Wal {
     path: PathBuf,
@@ -404,6 +414,27 @@ impl Wal {
             })
         };
         wrap_path(path, inner())
+    }
+
+    /// Like [`Wal::create`], but atomic with respect to crashes: the
+    /// fresh log (header included, fsynced) is written to a sibling
+    /// `.tmp` file and renamed over `path`, then the parent directory is
+    /// synced. A crash at any point leaves either the old file or the
+    /// complete new one at `path`, never a half-written header.
+    pub fn create_atomic<P: AsRef<Path>>(path: P, base_lsn: u64) -> Result<Wal, WalError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("log.tmp");
+        let mut wal = Self::create(&tmp, base_lsn)?;
+        let finish = || -> Result<(), WalError> {
+            std::fs::rename(&tmp, path)?;
+            if let Some(dir) = parent_dir(path) {
+                sync_dir(dir)?;
+            }
+            Ok(())
+        };
+        wrap_path(path, finish())?;
+        wal.path = path.to_path_buf();
+        Ok(wal)
     }
 
     /// Strict open: full validation, every committed record returned, and
@@ -755,8 +786,8 @@ impl Store {
         }
     }
 
-    /// Atomic replace: write to a sibling temp file, then rename over the
-    /// target.
+    /// Atomic replace: write to a sibling temp file, rename over the
+    /// target, and sync the parent directory so the rename is durable.
     fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
         let tmp = path.with_extension("tmp");
         let inner = |p: &Path| -> io::Result<()> {
@@ -767,6 +798,9 @@ impl Store {
         };
         inner(&tmp).map_err(|e| Self::io_err(&tmp, e))?;
         std::fs::rename(&tmp, path).map_err(|e| Self::io_err(path, e))?;
+        if let Some(dir) = parent_dir(path) {
+            sync_dir(dir).map_err(|e| Self::io_err(dir, e))?;
+        }
         Ok(())
     }
 
@@ -783,13 +817,16 @@ impl Store {
     }
 
     /// Writes a checkpoint at `lsn` per the §4 procedure: snapshot →
-    /// pointer (the commit) → fresh WAL → stale snapshot cleanup.
+    /// pointer (the commit) → fresh WAL → stale snapshot cleanup. Every
+    /// step is temp-file + rename + directory sync, so a crash between
+    /// any two steps leaves a store that still satisfies the invariant.
     /// Returns the fresh append-ready log that replaces the old one.
     pub fn write_checkpoint(&self, graph: &BipartiteCsr, lsn: u64) -> Result<Wal, StoreError> {
         let snap_path = Self::snapshot_path(&self.dir, lsn);
         let tmp = snap_path.with_extension("bgr.tmp");
         let graph_checksum = binfmt::write_binary_graph_path(&tmp, graph)?;
         std::fs::rename(&tmp, &snap_path).map_err(|e| Self::io_err(&snap_path, e))?;
+        sync_dir(&self.dir).map_err(|e| Self::io_err(&self.dir, e))?;
         Self::write_atomic(
             &Self::meta_path(&self.dir),
             &encode_meta(CheckpointMeta {
@@ -797,8 +834,10 @@ impl Store {
                 graph_checksum,
             }),
         )?;
-        let wal = Wal::create(Self::wal_path(&self.dir), lsn)?;
+        let wal = Wal::create_atomic(Self::wal_path(&self.dir), lsn)?;
         // Best-effort cleanup: stale snapshots are unreferenced garbage.
+        // Running strictly after the pointer commit (rename + dir sync),
+        // a deletion can never become durable before the pointer flip.
         if let Ok(entries) = std::fs::read_dir(&self.dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
@@ -812,6 +851,7 @@ impl Store {
                     }
                 }
             }
+            sync_dir(&self.dir).ok();
         }
         Ok(wal)
     }
@@ -912,6 +952,8 @@ impl DurableLog {
 
     /// Checkpoints at `lsn` if the cadence says one is due; `graph` must
     /// be the fully applied state at `lsn`. Returns whether it happened.
+    /// On failure the previous log and checkpoint LSN are kept, so the
+    /// store stays valid and the next due boundary retries the fold.
     pub fn maybe_checkpoint(&mut self, graph: &BipartiteCsr, lsn: u64) -> Result<bool, StoreError> {
         if self.checkpoint_every == 0 || lsn - self.checkpoint_lsn < self.checkpoint_every {
             return Ok(false);
@@ -1044,6 +1086,60 @@ mod tests {
             assert!(msg.contains("corrupt WAL record at lsn 1"), "{msg}");
             assert!(msg.contains("wal.log"), "pathful: {msg}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflip_in_final_record_fails_closed_in_both_modes() {
+        // The last record is complete (every declared byte present), so a
+        // checksum mismatch there is corruption, not a torn tail: even
+        // `recover` must refuse rather than truncate a committed batch
+        // (FORMATS.md §2).
+        let dir = tmp("bitflip_final");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        wal.append(&ops_a()).unwrap();
+        wal.append(&ops_a()).unwrap();
+        drop(wal);
+        let spans = Wal::scan(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = spans.last().unwrap();
+        // Flip the final record's last byte (inside its checksum).
+        bytes[(last.offset + last.len - 1) as usize] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        for result in [
+            Wal::open(&path).map(|_| ()),
+            Wal::recover(&path).map(|_| ()),
+        ] {
+            let msg = result.unwrap_err().to_string();
+            assert!(msg.contains("corrupt WAL record at lsn 2"), "{msg}");
+            assert!(msg.contains("wal.log"), "pathful: {msg}");
+        }
+        // The file is untouched: nothing got truncated on the way out.
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_replaces_the_wal_atomically() {
+        // FORMATS.md §4 step 3: the fresh log appears via temp + rename,
+        // never by truncating `wal.log` in place, and no temp files
+        // survive a successful checkpoint.
+        let dir = tmp("atomic_wal");
+        let g = from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let (store, mut wal) = Store::init(&dir, &g).unwrap();
+        wal.append(&ops_a()).unwrap();
+        wal.append(&ops_a()).unwrap();
+        drop(wal);
+        let wal = store.write_checkpoint(&g, 2).unwrap();
+        assert_eq!(wal.base_lsn(), 2);
+        drop(wal);
+        for leftover in ["wal.log.tmp", "checkpoint-2.bgr.tmp", "checkpoint.tmp"] {
+            assert!(!dir.join(leftover).exists(), "{leftover} left behind");
+        }
+        let rec = Store::open(&dir).unwrap();
+        assert_eq!(rec.checkpoint_lsn, 2);
+        assert!(rec.batches.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

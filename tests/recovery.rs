@@ -172,6 +172,35 @@ fn bit_flipped_record_checksum_fails_closed_in_both_modes() {
         assert!(msg.contains("wal.log"), "no path in: {msg}");
         assert!(msg.contains("corrupt WAL record at lsn 1"), "{msg}");
     }
+
+    // Flip one bit in the checksum of the *final* record. The record is
+    // complete — all its declared bytes are present — so this is
+    // corruption of a committed, acknowledged batch, not a torn tail:
+    // recovery must refuse to truncate it away (FORMATS.md §2).
+    let dir = scratch("flip_final_store");
+    let wal = std::fs::read(Store::wal_path(&ref_dir)).unwrap();
+    clone_store_cut(&ref_dir, &dir, wal.len() as u64);
+    let mut wal = wal;
+    let last = spans.last().unwrap();
+    let victim = (last.offset + last.len - 1) as usize;
+    assert_eq!(victim + 1, wal.len(), "final record ends the file");
+    wal[victim] ^= 0x01;
+    std::fs::write(Store::wal_path(&dir), &wal).unwrap();
+
+    let last_lsn = spans.len() as u64;
+    for result in [Store::open(&dir), Store::recover(&dir)] {
+        let Err(err) = result else {
+            panic!("final-record corruption must fail closed");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("wal.log"), "no path in: {msg}");
+        assert!(
+            msg.contains(&format!("corrupt WAL record at lsn {last_lsn}")),
+            "{msg}"
+        );
+    }
+    // And the refusal is read-only: the damaged log is left as evidence.
+    assert_eq!(std::fs::read(Store::wal_path(&dir)).unwrap(), wal);
 }
 
 #[test]
