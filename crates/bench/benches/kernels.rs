@@ -106,6 +106,44 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| black_box(bigraph::gen::zipf(12_000, 5_000, 30_000, 0.5, 1.1, 7)))
     });
 
+    // Intersection kernels at the skewed size ratio the degree-ratio
+    // heuristic targets: a 128-element list against a 64k-element one
+    // (ratio 512 ≫ GALLOP_RATIO). Merge pays O(|small| + |large|) steps,
+    // gallop O(|small| log |large|) probes, bitset one test per streamed
+    // element after a one-time build amortized across the batch (modeled
+    // here by building once outside the timing loop).
+    let small: Vec<u32> = (0..128u32).map(|i| i * 509).collect();
+    let large: Vec<u32> = (0..65_536u32).collect();
+    group.bench_function("intersect_merge_128_vs_64k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            let w = butterfly::intersect::intersect_merge(
+                small.iter().copied(),
+                large.iter().copied(),
+                |_| hits += 1,
+            );
+            black_box((hits, w))
+        })
+    });
+    group.bench_function("intersect_gallop_128_vs_64k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            let w = butterfly::intersect::intersect_gallop(small.iter().copied(), &large, |_| {
+                hits += 1
+            });
+            black_box((hits, w))
+        })
+    });
+    let bits = butterfly::intersect::VertexBitset::from_iter(65_536, large.iter().copied());
+    group.bench_function("intersect_bitset_128_vs_64k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            let w =
+                butterfly::intersect::intersect_bitset(&bits, small.iter().copied(), |_| hits += 1);
+            black_box((hits, w))
+        })
+    });
+
     // Parallel merge sort in the rayon shim: 1M random u64 across budgets.
     // Every RECEIPT phase that ranks or relabels funnels through
     // par_sort_unstable*, so this is the scaling-critical kernel. The

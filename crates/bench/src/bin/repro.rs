@@ -382,7 +382,7 @@ fn check_sched(file: &str) {
     }
     println!(
         "check-sched ok: threads={} workers_spawned={} busy_workers={busy_workers} \
-         steals={}/{} injector={}/{} tasks={}",
+         steals={}/{} injector={}/{} tasks={} idle_timeouts={}",
         sched.threads,
         sched.workers_spawned,
         sched.steals_succeeded,
@@ -390,6 +390,7 @@ fn check_sched(file: &str) {
         sched.injector_pops,
         sched.injector_pushes,
         sched.tasks_executed,
+        sched.idle_timeouts,
     );
 }
 

@@ -83,6 +83,11 @@ pub struct SchedulerReport {
     pub steals_attempted: u64,
     /// Jobs actually taken from another worker's deque.
     pub steals_succeeded: u64,
+    /// Park-timeout wakeups that found no pending work and re-parked
+    /// without scanning. Wall-clock-dependent (a function of how long the
+    /// pool sat idle), so scrubbed alongside the other scheduler fields;
+    /// `check-sched` only sanity-checks it, never pins a value.
+    pub idle_timeouts: u64,
 }
 
 /// Table 2: per-dataset statistics.

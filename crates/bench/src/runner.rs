@@ -98,6 +98,7 @@ pub fn scheduler_report() -> SchedulerReport {
         injector_pops: stats.injector_pops,
         steals_attempted: stats.steals_attempted,
         steals_succeeded: stats.steals_succeeded,
+        idle_timeouts: stats.idle_timeouts,
     }
 }
 

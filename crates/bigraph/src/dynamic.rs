@@ -168,6 +168,80 @@ impl DynamicBigraph {
         )
     }
 
+    /// Degree of `u` (base minus removed plus added overlay edges),
+    /// without materializing the merge. O(log overlay) — the kernel-
+    /// selection heuristics in the butterfly layer call this per wedge
+    /// to size intersections before choosing a kernel.
+    pub fn degree_u(&self, u: VertexId) -> usize {
+        let base = if (u as usize) < self.base.num_u() {
+            self.base.neighbors_u(u).len()
+        } else {
+            0
+        };
+        let removed = self.removed.range((u, 0)..=(u, VertexId::MAX)).count();
+        let added = self.added.range((u, 0)..=(u, VertexId::MAX)).count();
+        base - removed + added
+    }
+
+    /// Degree of `v`; see [`Self::degree_u`].
+    pub fn degree_v(&self, v: VertexId) -> usize {
+        let base = if (v as usize) < self.base.num_v() {
+            self.base.neighbors_v(v).len()
+        } else {
+            0
+        };
+        let removed = self.removed_t.range((v, 0)..=(v, VertexId::MAX)).count();
+        let added = self.added_t.range((v, 0)..=(v, VertexId::MAX)).count();
+        base - removed + added
+    }
+
+    /// The base CSR's adjacency slice for `u`, available only when the
+    /// overlay holds no entry for `u` (so the slice *is* the current
+    /// adjacency). Galloping intersection needs random access; callers
+    /// fall back to the [`Self::neighbors_u`] merge iterator on `None`.
+    pub fn base_only_neighbors_u(&self, u: VertexId) -> Option<&[VertexId]> {
+        let touched = self
+            .added
+            .range((u, 0)..=(u, VertexId::MAX))
+            .next()
+            .is_some()
+            || self
+                .removed
+                .range((u, 0)..=(u, VertexId::MAX))
+                .next()
+                .is_some();
+        if touched {
+            return None;
+        }
+        Some(if (u as usize) < self.base.num_u() {
+            self.base.neighbors_u(u)
+        } else {
+            &[]
+        })
+    }
+
+    /// V-side counterpart of [`Self::base_only_neighbors_u`].
+    pub fn base_only_neighbors_v(&self, v: VertexId) -> Option<&[VertexId]> {
+        let touched = self
+            .added_t
+            .range((v, 0)..=(v, VertexId::MAX))
+            .next()
+            .is_some()
+            || self
+                .removed_t
+                .range((v, 0)..=(v, VertexId::MAX))
+                .next()
+                .is_some();
+        if touched {
+            return None;
+        }
+        Some(if (v as usize) < self.base.num_v() {
+            self.base.neighbors_v(v)
+        } else {
+            &[]
+        })
+    }
+
     /// Primary neighbours of `v`, ascending.
     pub fn neighbors_v(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
         let base = if (v as usize) < self.base.num_v() {
@@ -550,6 +624,38 @@ mod tests {
             assert_eq!(materialized, reference);
             assert_eq!(dynamic.num_edges(), reference.len());
         }
+    }
+
+    #[test]
+    fn degree_and_base_slice_accessors_agree_with_merge() {
+        let base = crate::gen::uniform(20, 15, 60, 3);
+        let mut g = DynamicBigraph::with_threshold(base.clone(), 100.0);
+        for batch in seeded_schedule(&base, 4, 20, 11) {
+            g.apply_batch(&batch);
+        }
+        assert!(g.overlay_len() > 0, "schedule must leave overlay entries");
+        let mut base_only_seen = 0;
+        for u in 0..g.num_u() as VertexId {
+            let merged: Vec<_> = g.neighbors_u(u).collect();
+            assert_eq!(g.degree_u(u), merged.len(), "degree_u({u})");
+            if let Some(slice) = g.base_only_neighbors_u(u) {
+                assert_eq!(slice, &merged[..], "base_only_neighbors_u({u})");
+                base_only_seen += 1;
+            }
+        }
+        for v in 0..g.num_v() as VertexId {
+            let merged: Vec<_> = g.neighbors_v(v).collect();
+            assert_eq!(g.degree_v(v), merged.len(), "degree_v({v})");
+            if let Some(slice) = g.base_only_neighbors_v(v) {
+                assert_eq!(slice, &merged[..], "base_only_neighbors_v({v})");
+            }
+        }
+        assert!(base_only_seen > 0, "some vertices must be overlay-free");
+        // An overlay-touched vertex must refuse the fast slice.
+        let (u, v) = (0, g.num_v() as VertexId + 1);
+        g.apply_batch(&[EdgeOp::Insert(u, v)]);
+        assert!(g.base_only_neighbors_u(u).is_none());
+        assert!(g.base_only_neighbors_v(v).is_none());
     }
 
     #[test]

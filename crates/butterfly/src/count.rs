@@ -49,10 +49,17 @@ pub(crate) fn process_start_vertex<'g>(
         }
         let r_mp = rank_mid(mp);
         let cap = r_mp.min(rank_sp);
-        for &ep in neigh_mid(mp) {
-            if rank_end(ep) >= cap {
-                break; // endpoints are rank-sorted: nothing lower follows
-            }
+        // Endpoints are rank-sorted ascending, so the wedges to traverse
+        // are exactly the prefix with rank below `cap`. Galloping
+        // (exponential + binary search) finds that boundary in
+        // O(log prefix) rank lookups instead of one per endpoint, and the
+        // prefix walk below then needs no rank checks at all. The prefix
+        // is identical to what the old per-element break-scan visited, so
+        // the traversed-wedge count — and every golden pinned to it — is
+        // unchanged by construction.
+        let neigh = neigh_mid(mp);
+        let prefix = crate::intersect::gallop_partition_point(neigh, |&ep| rank_end(ep) < cap);
+        for &ep in &neigh[..prefix] {
             if !end_alive(ep) {
                 skipped += 1;
                 continue;

@@ -21,6 +21,9 @@
 //! order, keeping every maintained counter deterministic regardless of
 //! thread count.
 
+use crate::intersect::{
+    intersect_bitset, intersect_gallop, intersect_merge, should_gallop, VertexBitset, BITSET_MIN,
+};
 use crate::VertexCounts;
 use bigraph::dynamic::{BatchApplication, DynamicBigraph, EdgeOp};
 use bigraph::{BipartiteCsr, Side, VertexId};
@@ -39,9 +42,12 @@ pub struct BatchDelta {
     pub gained: u64,
     /// Butterflies destroyed by the batch's deletions.
     pub lost: u64,
-    /// Intersection steps spent enumerating the changed butterflies — the
+    /// Intersection work spent enumerating the changed butterflies — the
     /// incremental analog of the counter's wedge-traversal metric, and the
-    /// quantity to compare against a from-scratch recount's work.
+    /// quantity to compare against a from-scratch recount's work. Counted
+    /// in comparable per-element units whichever kernel the degree-ratio
+    /// heuristic picked (merge steps, gallop probes, or bitset membership
+    /// tests plus the one-time bitset build; see [`crate::intersect`]).
     pub work: u64,
     /// U-side vertices on a changed butterfly (sorted, deduplicated).
     pub dirty_u: Vec<VertexId>,
@@ -321,51 +327,52 @@ fn enumerate_changed(
             // BTreeSet-range merge (and its per-element `removed` lookups)
             // for every u2.
             let nu_adj: Vec<VertexId> = g.neighbors_u(u).collect();
+            // Hub path: when the batch edge hangs off a high-degree u,
+            // build the N(u) membership bitset once and stream every
+            // N(u2) against it — O(deg u2) per wedge middle instead of a
+            // merge over the hub's whole list. The build is charged once,
+            // in the same element-visit units all kernels report.
+            let bitset = (nu_adj.len() >= BITSET_MIN).then(|| {
+                work += nu_adj.len() as u64;
+                VertexBitset::from_iter(g.num_v(), nu_adj.iter().copied())
+            });
             for u2 in g.neighbors_v(v) {
                 if u2 == u || lower(u2, v) {
                     continue;
                 }
-                work += intersect(nu_adj.iter().copied(), g.neighbors_u(u2), |v2| {
+                let hit = |v2: VertexId| {
                     if v2 != v && !lower(u, v2) && !lower(u2, v2) {
                         found.push((u, u2, v, v2));
                     }
-                });
+                };
+                // All kernels emit common neighbours in ascending order,
+                // so `found` is kernel-independent and the maintained
+                // counts stay deterministic across heuristic decisions.
+                work += if let Some(bits) = &bitset {
+                    intersect_bitset(bits, g.neighbors_u(u2), hit)
+                } else {
+                    let d2 = g.degree_u(u2);
+                    if should_gallop(nu_adj.len(), d2) {
+                        // Gallop the small materialized N(u) into N(u2) —
+                        // needs random access, so only when u2's adjacency
+                        // is a pure base-CSR slice (no overlay entries).
+                        match g.base_only_neighbors_u(u2) {
+                            Some(big) => intersect_gallop(nu_adj.iter().copied(), big, hit),
+                            None => intersect_merge(nu_adj.iter().copied(), g.neighbors_u(u2), hit),
+                        }
+                    } else if should_gallop(d2, nu_adj.len()) {
+                        // N(u) is the big side and is already a slice.
+                        intersect_gallop(g.neighbors_u(u2), &nu_adj, hit)
+                    } else {
+                        intersect_merge(nu_adj.iter().copied(), g.neighbors_u(u2), hit)
+                    }
+                };
             }
             (found, work)
         })
         .collect();
     let work = results.iter().map(|(_, w)| w).sum();
     (results.into_iter().map(|(b, _)| b).collect(), work)
-}
-
-/// Sorted-merge intersection of two ascending streams; calls `hit` for
-/// every common element and returns the number of merge steps (the work
-/// metric).
-fn intersect(
-    a: impl Iterator<Item = VertexId>,
-    b: impl Iterator<Item = VertexId>,
-    mut hit: impl FnMut(VertexId),
-) -> u64 {
-    let mut a = a.peekable();
-    let mut b = b.peekable();
-    let mut steps = 0u64;
-    while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
-        steps += 1;
-        match x.cmp(&y) {
-            std::cmp::Ordering::Less => {
-                a.next();
-            }
-            std::cmp::Ordering::Greater => {
-                b.next();
-            }
-            std::cmp::Ordering::Equal => {
-                hit(x);
-                a.next();
-                b.next();
-            }
-        }
-    }
-    steps
 }
 
 #[cfg(test)]
@@ -486,6 +493,38 @@ mod tests {
             }
             assert!(index.graph().compactions() > 0 || index.graph().overlay_len() > 0);
         }
+    }
+
+    #[test]
+    fn hub_batches_engage_fast_kernels_and_stay_exact() {
+        // A hub u=0 whose degree clears BITSET_MIN, plus leaf vertices
+        // with tiny degrees: batch edges on the hub take the bitset path,
+        // wedges pairing leaves against the hub satisfy the gallop
+        // ratio, and everything else falls back to the merge. Exactness
+        // is pinned by full recount; work must be positive and counted.
+        let hub_deg = (BITSET_MIN * 3) as VertexId;
+        let mut edges: Vec<(VertexId, VertexId)> = (0..hub_deg).map(|v| (0, v)).collect();
+        for i in 0..40u32 {
+            // Leaves sharing a couple of the hub's neighbours.
+            edges.push((1 + i, (i * 7) % hub_deg));
+            edges.push((1 + i, (i * 7 + 1) % hub_deg));
+        }
+        let g = from_edges(41, hub_deg as usize, &edges).unwrap();
+        let mut index = DynamicButterflyIndex::with_threshold(g, 100.0);
+        // Batch edges incident to the hub (bitset path) and to leaves
+        // (gallop/merge paths), inserts and deletes mixed.
+        let delta = index.apply_batch(&[
+            EdgeOp::Insert(0, hub_deg),
+            EdgeOp::Insert(3, 5),
+            EdgeOp::Delete(0, 0),
+            EdgeOp::Insert(40, 2),
+        ]);
+        assert!(delta.work > 0);
+        assert_matches_recount(&index);
+        // And once more after the overlay grew (base-only slices now
+        // unavailable for touched vertices — the fallbacks must agree).
+        index.apply_batch(&[EdgeOp::Insert(0, 0), EdgeOp::Delete(3, 5)]);
+        assert_matches_recount(&index);
     }
 
     #[test]

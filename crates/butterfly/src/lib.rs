@@ -16,10 +16,14 @@
 //!   wing (edge) decomposition (§7).
 //! * [`dynamic`] — incremental maintenance of per-vertex and per-edge
 //!   counts across batched edge insertions/deletions.
+//! * [`intersect`] — the sorted-set intersection kernels (scalar merge,
+//!   galloping search, hub bitset) and the degree-ratio heuristic that
+//!   picks between them in the wedge loops.
 
 pub mod approx;
 pub mod count;
 pub mod dynamic;
+pub mod intersect;
 pub mod naive;
 pub mod parallel;
 pub mod per_edge;

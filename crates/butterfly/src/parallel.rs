@@ -4,7 +4,12 @@
 //! Algorithm 1); every task checks a dense wedge array out of a
 //! [`parutil::ScratchPool`] (the paper gives each OpenMP thread a `θ(|W|)`
 //! private array — "batch" aggregation mode of ParButterfly) and publishes
-//! its contributions with relaxed atomic adds.
+//! its contributions with relaxed atomic adds. The per-wedge inner loop is
+//! `crate::count::process_start_vertex` (crate-private), shared with the
+//! sequential driver, so the rank-boundary galloping there (exponential search for
+//! the live-rank prefix instead of a per-endpoint break-scan) accelerates
+//! both drivers identically — including the `wedges_traversed` metric,
+//! which is unchanged by construction.
 
 use crate::VertexCounts;
 use bigraph::{RankedGraph, VertexId};

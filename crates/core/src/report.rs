@@ -530,7 +530,7 @@ mod tests {
     fn scrub_scheduler_nulls_only_scheduler_sections() {
         let text = r#"{
             "experiment": "smoke",
-            "scheduler": {"steals_succeeded": 7, "tasks_executed": 91},
+            "scheduler": {"steals_succeeded": 7, "tasks_executed": 91, "idle_timeouts": 4},
             "rows": [{"scheduler": {"x": 1}, "max_wing": 3}]
         }"#;
         let mut value = serde_json::from_str_value(text).unwrap();

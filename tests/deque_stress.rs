@@ -1,0 +1,191 @@
+//! Stress suite for the lock-free Chase–Lev deque behind the worker
+//! pool (`rayon::deque`), plus a pool-level quiescence reconciliation.
+//!
+//! The deque tests drive the raw protocol — one owner thread doing
+//! lock-free push/pop at the bottom, `N` thieves CAS-racing at the top —
+//! and check the only property that matters: **every pushed element is
+//! reclaimed exactly once**, across buffer growth, the one-element race,
+//! and arbitrary interleavings. The thief count scales with
+//! `RAYON_NUM_THREADS` so CI's deque-stress matrix leg ({2, 4, 8})
+//! exercises different contention levels.
+//!
+//! The owner-side calls are `unsafe` by design (the Chase–Lev protocol
+//! requires a unique owner); each test confines them to one thread.
+
+use rayon::deque::{Deque, Steal};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serializes the pool-level test against the deque tests so its exact
+/// scheduler-stats deltas are meaningful (counters are process-global).
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Thief parallelism for the raw-deque tests: the CI matrix leg sets
+/// `RAYON_NUM_THREADS ∈ {2, 4, 8}`; default to 4 locally.
+fn thieves() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
+
+/// Runs `total` elements through a deque with one owner (pushing, with
+/// interleaved pops controlled by `pop_every`) and `n_thieves` stealing
+/// concurrently. Returns (owner_pops, steals, per-element seen counts).
+fn run_owner_vs_thieves(total: usize, pop_every: usize, n_thieves: usize) -> (usize, usize) {
+    let d: Arc<Deque<usize>> = Arc::new(Deque::new());
+    let seen: Arc<Vec<AtomicU64>> = Arc::new((0..total).map(|_| AtomicU64::new(0)).collect());
+    let owner_done = Arc::new(AtomicBool::new(false));
+    let stolen = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..n_thieves)
+        .map(|_| {
+            let d = Arc::clone(&d);
+            let seen = Arc::clone(&seen);
+            let owner_done = Arc::clone(&owner_done);
+            let stolen = Arc::clone(&stolen);
+            std::thread::spawn(move || loop {
+                match d.steal() {
+                    Steal::Success(v) => {
+                        seen[v].fetch_add(1, Ordering::Relaxed);
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => {
+                        if owner_done.load(Ordering::Acquire) && d.is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut owner_pops = 0usize;
+    // SAFETY: this thread is the deque's sole owner; thieves only steal.
+    unsafe {
+        for i in 0..total {
+            d.push(i);
+            if pop_every != 0 && i % pop_every == 0 {
+                if let Some(v) = d.pop() {
+                    seen[v].fetch_add(1, Ordering::Relaxed);
+                    owner_pops += 1;
+                }
+            }
+        }
+        while let Some(v) = d.pop() {
+            seen[v].fetch_add(1, Ordering::Relaxed);
+            owner_pops += 1;
+        }
+    }
+    owner_done.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+    for (i, s) in seen.iter().enumerate() {
+        let count = s.load(Ordering::Relaxed);
+        assert_eq!(
+            count, 1,
+            "element {i} reclaimed {count} times, want exactly 1"
+        );
+    }
+    (owner_pops, stolen.load(Ordering::Relaxed))
+}
+
+#[test]
+fn every_element_reclaimed_exactly_once_under_contention() {
+    let (popped, stolen) = run_owner_vs_thieves(200_000, 5, thieves());
+    assert_eq!(popped + stolen, 200_000);
+}
+
+#[test]
+fn push_only_owner_forces_growth_under_racing_thieves() {
+    // No interleaved pops: the deque depth grows past several buffer
+    // doublings while thieves race the owner's `grow` publications.
+    let (popped, stolen) = run_owner_vs_thieves(100_000, 0, thieves());
+    assert_eq!(popped + stolen, 100_000);
+    assert!(stolen > 0, "thieves must have taken part of the load");
+}
+
+#[test]
+fn one_element_race_is_won_by_exactly_one_side() {
+    // Repeatedly stage the pathological case: a single element fought
+    // over by the owner's pop and a pack of thieves. Exactly one side
+    // may win each round.
+    let d = Arc::new(Deque::new());
+    let rounds = 2_000usize;
+    let claimed = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..thieves())
+        .map(|_| {
+            let d = Arc::clone(&d);
+            let claimed = Arc::clone(&claimed);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    if d.steal().is_success() {
+                        claimed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut owner_wins = 0usize;
+    // SAFETY: sole owner thread.
+    unsafe {
+        for i in 0..rounds {
+            d.push(i);
+            if d.pop().is_some() {
+                owner_wins += 1;
+            }
+        }
+    }
+    // Wait for any in-flight winning steal to land before tallying.
+    while owner_wins + claimed.load(Ordering::Acquire) < rounds {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        owner_wins + claimed.load(Ordering::Relaxed),
+        rounds,
+        "each round's single element must be claimed exactly once"
+    );
+    assert!(d.is_empty());
+}
+
+#[test]
+fn pool_counters_reconcile_at_quiescence() {
+    let _guard = serial();
+    // The same exactly-once property, observed end-to-end through the
+    // pool's telemetry: at quiescence every submitted job was executed,
+    // attributed to exactly one executor.
+    let before = rayon::scheduler_stats();
+    let jobs = 512usize;
+    let ran = AtomicUsize::new(0);
+    parutil::with_pool(thieves().max(2), || {
+        rayon::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    let after = rayon::scheduler_stats();
+    assert_eq!(ran.load(Ordering::Relaxed), jobs);
+    assert_eq!(after.jobs_submitted - before.jobs_submitted, jobs as u64);
+    assert_eq!(after.tasks_executed - before.tasks_executed, jobs as u64);
+    let sum =
+        |s: &rayon::SchedulerStats| s.helper_executed + s.per_worker_executed.iter().sum::<u64>();
+    assert_eq!(sum(&after) - sum(&before), jobs as u64);
+    assert!(after.steals_succeeded <= after.steals_attempted);
+}

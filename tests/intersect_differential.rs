@@ -1,0 +1,120 @@
+//! Differential proptest for the intersection kernels: galloping and
+//! bitset against the scalar sorted-merge, over random ascending
+//! duplicate-free vectors including heavily skewed size pairs — the
+//! shape the degree-ratio heuristic selects the fast kernels for.
+//!
+//! The properties pinned:
+//! * all three kernels produce the **same hit sequence** (the dynamic
+//!   counter's determinism across heuristic decisions rests on this);
+//! * the hit sequence equals a set-intersection oracle;
+//! * work counters are sane: positive units, and galloping undercuts the
+//!   merge on skewed inputs once sizes clear the heuristic's floor.
+
+use butterfly::intersect::{
+    gallop_partition_point, intersect_bitset, intersect_gallop, intersect_merge, should_gallop,
+    VertexBitset,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+type V = u32;
+
+/// Ascending, duplicate-free vector with values drawn from `0..universe`.
+fn sorted_set(universe: V, max_len: usize) -> impl Strategy<Value = Vec<V>> {
+    proptest::collection::vec(0..universe, 0..max_len).prop_map(|mut xs| {
+        xs.sort_unstable();
+        xs.dedup();
+        xs
+    })
+}
+
+fn merge_hits(a: &[V], b: &[V]) -> (Vec<V>, u64) {
+    let mut out = Vec::new();
+    let w = intersect_merge(a.iter().copied(), b.iter().copied(), |x| out.push(x));
+    (out, w)
+}
+
+fn gallop_hits(small: &[V], large: &[V]) -> (Vec<V>, u64) {
+    let mut out = Vec::new();
+    let w = intersect_gallop(small.iter().copied(), large, |x| out.push(x));
+    (out, w)
+}
+
+fn bitset_hits(members: &[V], stream: &[V], universe: usize) -> (Vec<V>, u64) {
+    let bits = VertexBitset::from_iter(universe, members.iter().copied());
+    let mut out = Vec::new();
+    let w = intersect_bitset(&bits, stream.iter().copied(), |x| out.push(x));
+    (out, w)
+}
+
+fn oracle(a: &[V], b: &[V]) -> Vec<V> {
+    let sa: BTreeSet<V> = a.iter().copied().collect();
+    b.iter().copied().filter(|x| sa.contains(x)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Comparable-size inputs: every kernel agrees with the set oracle.
+    #[test]
+    fn kernels_agree_on_random_sets(
+        a in sorted_set(2_000, 300),
+        b in sorted_set(2_000, 300),
+    ) {
+        let expect = oracle(&a, &b);
+        let (m, mw) = merge_hits(&a, &b);
+        prop_assert_eq!(&m, &expect);
+        let (g_ab, _) = gallop_hits(&a, &b);
+        prop_assert_eq!(&g_ab, &expect);
+        let (g_ba, _) = gallop_hits(&b, &a);
+        prop_assert_eq!(&g_ba, &expect);
+        let (bs, bw) = bitset_hits(&a, &b, 2_000);
+        prop_assert_eq!(&bs, &expect);
+        // Work units are the advertised ones: merge ≤ |a|+|b| steps,
+        // bitset exactly one test per streamed element.
+        prop_assert!(mw <= (a.len() + b.len()) as u64);
+        prop_assert_eq!(bw, b.len() as u64);
+    }
+
+    /// Heavily skewed sizes — the gallop/bitset home turf. A tiny list
+    /// against a big dense-ish one; hits must still match the oracle and
+    /// galloping must not exceed the merge's work once the heuristic
+    /// would actually pick it.
+    #[test]
+    fn kernels_agree_on_skewed_sizes(
+        small in sorted_set(50_000, 24),
+        large in sorted_set(50_000, 4_000),
+    ) {
+        let expect = oracle(&small, &large);
+        let (m, mw) = merge_hits(&small, &large);
+        prop_assert_eq!(&m, &expect);
+        let (g, gw) = gallop_hits(&small, &large);
+        prop_assert_eq!(&g, &expect);
+        let (bs, _) = bitset_hits(&small, &large, 50_000);
+        prop_assert_eq!(&bs, &expect);
+        if should_gallop(small.len(), large.len()) && !small.is_empty() {
+            // O(|small| log |large|) probes against O(|small| + |large|)
+            // steps; at ratio ≥ 8 the gallop can only win or tie up to
+            // its log factor. A loose factor-2 bound keeps the assertion
+            // robust while still catching a quadratic regression.
+            prop_assert!(
+                gw <= 2 * mw.max(1),
+                "gallop {gw} probes vs merge {mw} steps on \
+                 |small|={}, |large|={}", small.len(), large.len()
+            );
+        }
+    }
+
+    /// The boundary search the wedge loops use: identical to std's
+    /// `partition_point` on every sorted input and threshold.
+    #[test]
+    fn gallop_partition_point_equals_std(
+        xs in sorted_set(10_000, 600),
+        threshold in 0u32..10_500,
+    ) {
+        prop_assert_eq!(
+            gallop_partition_point(&xs, |&x| x < threshold),
+            xs.partition_point(|&x| x < threshold)
+        );
+    }
+}

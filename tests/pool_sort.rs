@@ -202,6 +202,45 @@ fn steal_path_drains_a_seeded_worker_deque() {
 }
 
 #[test]
+fn idle_pool_does_not_churn_steal_scans() {
+    let _guard = serial();
+    // Park some workers by running a parallel batch, then go quiet. The
+    // 1 s parking backstop will fire on the idle workers during the quiet
+    // window; the regression being pinned: a timeout wakeup must re-check
+    // `pending == 0` and re-park, NOT run a steal scan — before the fix,
+    // every backstop firing burned a full scan and `steals_attempted`
+    // crept up forever during sequential phases.
+    with_pool(4, || {
+        rayon::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    std::hint::black_box(0u64);
+                });
+            }
+        });
+    });
+    // Let in-flight scans from the batch above settle before baselining.
+    std::thread::sleep(Duration::from_millis(200));
+    let before = rayon::scheduler_stats();
+    // > 1 s of quiescence guarantees at least one backstop firing per
+    // parked worker (they re-park on a fresh 1 s window each time).
+    std::thread::sleep(Duration::from_millis(2400));
+    let after = rayon::scheduler_stats();
+    assert_eq!(
+        after.steals_attempted, before.steals_attempted,
+        "an idle pool must not probe victim deques on parking-timeout wakeups"
+    );
+    assert_eq!(after.jobs_submitted, before.jobs_submitted);
+    assert!(
+        after.idle_timeouts > before.idle_timeouts,
+        "parked workers must have recorded 1 s backstop timeouts over a \
+         2.4 s quiet window (before {}, after {})",
+        before.idle_timeouts,
+        after.idle_timeouts
+    );
+}
+
+#[test]
 fn nested_install_budgets_cap_concurrency() {
     let _guard = serial();
     // Inside an inner budget-2 install, a terminal may split into at most

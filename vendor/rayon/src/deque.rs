@@ -1,0 +1,415 @@
+//! Lock-free Chase–Lev work-stealing deque.
+//!
+//! This is the dynamic circular work-stealing deque of Chase & Lev, with
+//! the memory orderings of Lê, Pop, Cohen & Zappa Nardelli's C11
+//! formulation ("Correct and Efficient Work-Stealing for Weak Memory
+//! Models", PPoPP'13):
+//!
+//! * the **owner** pushes and pops at the *bottom* (LIFO), entirely
+//!   wait-free — no CAS except on the one-element race;
+//! * **thieves** take from the *top* (FIFO) and race each other (and the
+//!   owner, when one element remains) with a single `SeqCst`
+//!   compare-exchange on `top`;
+//! * the buffer is a growable power-of-two circular array. The owner
+//!   grows it by copying the live window `[top, bottom)` into a buffer of
+//!   twice the capacity and publishing it with a `Release` store.
+//!
+//! Two representation choices keep the unsafe surface small:
+//!
+//! 1. **Elements are stored as thin raw pointers** (`Box<T>` leaked into
+//!    an `AtomicPtr<T>` slot). A thief may read a slot that the owner is
+//!    concurrently recycling; because the read is a relaxed atomic load
+//!    of a pointer-sized word it is never a data race, and the value is
+//!    only *dereferenced* after the thief's CAS on `top` succeeds — at
+//!    which point the protocol guarantees the slot was not recycled
+//!    (occupancy never exceeds capacity, so an index is overwritten only
+//!    after `top` has moved past it).
+//! 2. **Retired buffers go to a graveyard, not the allocator.** A thief
+//!    can hold a pointer to a superseded buffer and still read a slot
+//!    from it (the CAS decides whether the read value is used, and the
+//!    grow copied the live window, so a winning CAS reads the same
+//!    pointer either way). Freeing that buffer would be a use-after-free,
+//!    so grown-out buffers are parked until the deque itself drops.
+//!    Doubling growth bounds graveyard memory by ~2× the peak buffer.
+//!
+//! The owner-side operations take `&self` but are `unsafe fn`: the
+//! Chase–Lev protocol is only sound with a *single* concurrent owner, and
+//! that uniqueness is a property of the call sites (in the pool, deque
+//! `i` is pushed/popped only by worker thread `i`), not of this type.
+
+use std::ptr;
+use std::sync::atomic::{AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// Result of a [`Deque::steal`] attempt.
+#[derive(Debug)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; the deque may still
+    /// hold work — retry or move on to another victim.
+    Retry,
+    /// Took the oldest element.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// True for `Steal::Success`.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+/// A growable circular buffer of pointer slots, indexed by the deque's
+/// monotonically increasing `top`/`bottom` counters modulo capacity.
+struct Buffer<T> {
+    slots: Box<[AtomicPtr<T>]>,
+    /// `capacity - 1`; capacity is always a power of two.
+    mask: usize,
+}
+
+impl<T> Buffer<T> {
+    fn new(capacity: usize) -> Box<Buffer<T>> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| AtomicPtr::new(ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer {
+            slots,
+            mask: capacity - 1,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// The slot for logical index `i`. Indices are non-negative and only
+    /// ever increase, so the cast is lossless.
+    fn slot(&self, i: isize) -> &AtomicPtr<T> {
+        &self.slots[(i as usize) & self.mask]
+    }
+}
+
+/// Initial buffer capacity (slots, not bytes — each slot is one pointer).
+const MIN_CAPACITY: usize = 32;
+
+/// A lock-free Chase–Lev deque. `steal` is safe from any thread;
+/// `push`/`pop` are owner-only (see the module docs and per-method
+/// safety contracts).
+pub struct Deque<T> {
+    /// Next index a thief will take. Only ever incremented (by a winning
+    /// CAS); never wraps in practice (an isize of pushes is unreachable).
+    top: AtomicIsize,
+    /// Index one past the owner's most recent push. Written only by the
+    /// owner.
+    bottom: AtomicIsize,
+    /// Current buffer. Replaced (with a `Release` store) only by the
+    /// owner, inside `grow`.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Superseded buffers, kept alive until `Drop` because in-flight
+    /// thieves may still read (never dereference-after-losing) from them.
+    /// Pushed only by the owner; the mutex exists for `Sync`, not for the
+    /// hot path.
+    graveyard: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: the deque owns its elements as leaked `Box<T>`; all shared
+// mutation goes through atomics (plus the graveyard mutex). `T: Send`
+// suffices because elements cross threads but are never aliased: exactly
+// one winner (owner pop or thief CAS) reclaims each leaked box.
+unsafe impl<T: Send> Send for Deque<T> {}
+unsafe impl<T: Send> Sync for Deque<T> {}
+
+impl<T> Default for Deque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Deque<T> {
+    pub fn new() -> Deque<T> {
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::new(MIN_CAPACITY))),
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Owner-side push at the bottom.
+    ///
+    /// # Safety
+    /// Must only be called by the deque's unique owner thread: no other
+    /// `push`/`pop` may execute concurrently (concurrent `steal`s are
+    /// fine — that is the point).
+    pub unsafe fn push(&self, value: T) {
+        let item = Box::into_raw(Box::new(value));
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        if b.wrapping_sub(t) >= (*buf).capacity() as isize {
+            self.grow(t, b);
+            buf = self.buffer.load(Ordering::Relaxed);
+        }
+        (*buf).slot(b).store(item, Ordering::Relaxed);
+        // Publish the slot before the new bottom: a thief that observes
+        // `bottom > b` (Acquire) must also observe the slot's contents.
+        std::sync::atomic::fence(Ordering::Release);
+        self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// Owner-side pop at the bottom (LIFO). Returns `None` when empty.
+    ///
+    /// # Safety
+    /// Same contract as [`Deque::push`]: unique-owner threads only.
+    pub unsafe fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        let buf = self.buffer.load(Ordering::Relaxed);
+        // Announce the claim on index `b` before reading `top`: the
+        // SeqCst fence pairs with the fence in `steal` so owner and thief
+        // cannot both miss each other's claim on the last element.
+        self.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty; restore the canonical empty state.
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+        let item = (*buf).slot(b).load(Ordering::Relaxed);
+        if t == b {
+            // Exactly one element: race thieves for it on `top`.
+            let won = self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            if !won {
+                // A thief got it; it will (or did) dereference `item`.
+                return None;
+            }
+            return Some(*Box::from_raw(item));
+        }
+        // More than one element: the bottom is uncontended.
+        Some(*Box::from_raw(item))
+    }
+
+    /// Thief-side take from the top (FIFO). Safe from any thread.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        // Pairs with the fence in `pop`: order the `top` read before the
+        // `bottom` read so a concurrent owner claim is not missed.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Acquire pairs with the Release publication in `grow`: a buffer
+        // observed here has its live window fully copied.
+        let buf = self.buffer.load(Ordering::Acquire);
+        // SAFETY: buffers are never freed while the deque lives (the
+        // graveyard keeps superseded ones), so `buf` is dereferenceable.
+        // The slot value read here may be stale; it is used only if the
+        // CAS below proves `top` did not move, which the occupancy bound
+        // (`bottom - top <= capacity`) extends to "the slot was not
+        // recycled".
+        let item = unsafe { (*buf).slot(t).load(Ordering::Relaxed) };
+        if self
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Lost to the owner (last element) or another thief.
+            return Steal::Retry;
+        }
+        // SAFETY: the CAS won, so this thief uniquely owns index `t` and
+        // `item` is the pointer the owner published there.
+        Steal::Success(unsafe { *Box::from_raw(item) })
+    }
+
+    /// Owner-side buffer growth: copy the live window `[t, b)` into a
+    /// buffer of twice the capacity, publish it, retire the old one.
+    ///
+    /// # Safety
+    /// Owner-only (called from `push`).
+    unsafe fn grow(&self, t: isize, b: isize) {
+        let old = self.buffer.load(Ordering::Relaxed);
+        let new = Buffer::new(((*old).capacity() * 2).max(MIN_CAPACITY));
+        let mut i = t;
+        while i != b {
+            (*new)
+                .slot(i)
+                .store((*old).slot(i).load(Ordering::Relaxed), Ordering::Relaxed);
+            i = i.wrapping_add(1);
+        }
+        let new = Box::into_raw(new);
+        // Release: a thief that Acquire-loads the new buffer sees every
+        // slot copied above.
+        self.buffer.store(new, Ordering::Release);
+        self.graveyard
+            .lock()
+            .expect("deque graveyard poisoned")
+            .push(old);
+    }
+
+    /// Approximate number of queued elements; exact at quiescence.
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.wrapping_sub(t).max(0) as usize
+    }
+
+    /// Approximate emptiness; exact at quiescence.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Deque<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no owner or thief is live, plain reads suffice.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        let buf = *self.buffer.get_mut();
+        let mut i = t;
+        while i < b {
+            // SAFETY: indices in [t, b) hold un-reclaimed leaked boxes.
+            unsafe { drop(Box::from_raw((*buf).slot(i).load(Ordering::Relaxed))) };
+            i += 1;
+        }
+        // SAFETY: the current buffer and every graveyard entry came from
+        // `Box::into_raw` and are reclaimed exactly once, here.
+        unsafe { drop(Box::from_raw(buf)) };
+        for old in self
+            .graveyard
+            .get_mut()
+            .expect("deque graveyard poisoned")
+            .drain(..)
+        {
+            unsafe { drop(Box::from_raw(old)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_pop_is_lifo() {
+        let d = Deque::new();
+        unsafe {
+            d.push(1);
+            d.push(2);
+            d.push(3);
+            assert_eq!(d.pop(), Some(3));
+            assert_eq!(d.pop(), Some(2));
+            assert_eq!(d.pop(), Some(1));
+            assert_eq!(d.pop(), None);
+            assert_eq!(d.pop(), None); // empty stays empty
+        }
+    }
+
+    #[test]
+    fn steal_is_fifo() {
+        let d = Deque::new();
+        unsafe {
+            d.push(1);
+            d.push(2);
+            d.push(3);
+        }
+        assert!(matches!(d.steal(), Steal::Success(1)));
+        assert!(matches!(d.steal(), Steal::Success(2)));
+        assert!(matches!(d.steal(), Steal::Success(3)));
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn growth_preserves_contents_and_order() {
+        let d = Deque::new();
+        let n = MIN_CAPACITY * 8 + 3; // force several doublings
+        unsafe {
+            for i in 0..n {
+                d.push(i);
+            }
+        }
+        assert_eq!(d.len(), n);
+        for want in 0..n {
+            match d.steal() {
+                Steal::Success(got) => assert_eq!(got, want),
+                other => panic!("expected Success({want}), got {other:?}"),
+            }
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_steal_reclaims_every_element() {
+        use std::sync::atomic::AtomicBool;
+        let d = Arc::new(Deque::new());
+        let total = 20_000usize;
+        let taken = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let owner_done = Arc::new(AtomicBool::new(false));
+        let thieves: Vec<_> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let taken = Arc::clone(&taken);
+                let sum = Arc::clone(&sum);
+                let owner_done = Arc::clone(&owner_done);
+                std::thread::spawn(move || loop {
+                    match d.steal() {
+                        Steal::Success(v) => {
+                            taken.fetch_add(1, Ordering::Relaxed);
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if owner_done.load(Ordering::Acquire) && d.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Owner: push everything, popping a few along the way.
+        let mut popped = 0usize;
+        let mut popped_sum = 0usize;
+        unsafe {
+            for i in 1..=total {
+                d.push(i);
+                if i % 3 == 0 {
+                    if let Some(v) = d.pop() {
+                        popped += 1;
+                        popped_sum += v;
+                    }
+                }
+            }
+            while let Some(v) = d.pop() {
+                popped += 1;
+                popped_sum += v;
+            }
+        }
+        owner_done.store(true, Ordering::Release);
+        for th in thieves {
+            th.join().unwrap();
+        }
+        let stolen = taken.load(Ordering::Relaxed);
+        assert_eq!(
+            popped + stolen,
+            total,
+            "every pushed element must be reclaimed exactly once"
+        );
+        assert_eq!(
+            popped_sum + sum.load(Ordering::Relaxed),
+            total * (total + 1) / 2,
+            "element identities must be preserved"
+        );
+    }
+}

@@ -19,10 +19,11 @@
 //! * `scope`/`Scope::spawn`, whose tasks are pool jobs as well — `scope`
 //!   blocks (while helping drain the queue) until every spawn finished.
 //!
-//! Like real rayon, the pool **work-steals**: every worker owns a deque
-//! (LIFO for itself, FIFO for thieves picked by seeded rotation) and the
-//! shared injector only receives external submissions, so skewed workloads
-//! rebalance dynamically instead of contending on one queue (see [`pool`]).
+//! Like real rayon, the pool **work-steals**: every worker owns a
+//! lock-free Chase–Lev deque (see [`deque`]; LIFO for itself, FIFO for
+//! thieves picked by seeded rotation) and the shared injector only
+//! receives external submissions, so skewed workloads rebalance
+//! dynamically instead of contending on one queue (see [`pool`]).
 //! Parallel terminals and the sort's merges split **adaptively**: while
 //! idle thieves exist a construct forks, otherwise it runs sequentially
 //! (`split_hint` / `pool::split_wanted`), replacing fixed chunk counts.
@@ -39,6 +40,7 @@ use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 
+pub mod deque;
 pub mod iter;
 pub mod pool;
 pub(crate) mod sort;

@@ -1,14 +1,15 @@
 //! Work-stealing scheduler behind every parallel terminal.
 //!
 //! A lazily-initialized, process-global set of OS workers executes erased
-//! closures. Scheduling follows the classic Chase–Lev shape, adapted to a
-//! shim (the deques are mutex-protected, not lock-free, which is plenty
-//! under ≤ `MAX_WORKERS` threads):
+//! closures. Scheduling is the classic Chase–Lev discipline, and since
+//! this PR the deques really are lock-free ([`crate::deque`]) — owners
+//! never take a lock or CAS except on the one-element race, and thieves
+//! synchronize with a single compare-exchange on `top`:
 //!
 //! * every worker owns a **deque**: it pushes and pops its own jobs at the
-//!   back (LIFO, so nested fork-join stays depth-first and stack-bounded)
-//!   while thieves take from the front (FIFO, so they grab the oldest —
-//!   root-most, largest — subtree);
+//!   bottom (LIFO, so nested fork-join stays depth-first and
+//!   stack-bounded) while thieves take from the top (FIFO, so they grab
+//!   the oldest — root-most, largest — subtree);
 //! * a worker out of local work **steals** from victims chosen by seeded
 //!   rotation (a SplitMix-seeded start index per thief, then a cyclic
 //!   scan), and only then falls back to the shared **injector**;
@@ -29,8 +30,13 @@
 //!    thread runs jobs itself (`help_until_done`): its own deque first
 //!    (its children), then steals, then the injector. A fixed-size pool
 //!    whose blocked callers also drain queues cannot deadlock on nested
-//!    batches; parking uses a short timeout as a lost-wakeup safety net on
-//!    top of the condvar protocol. Parked waiters count as *idle thieves*
+//!    batches; parking uses a deliberately long **1-second backstop
+//!    timeout** as a lost-wakeup safety net on top of the condvar
+//!    protocol, and a timed-out worker re-checks `pending == 0` and goes
+//!    straight back to sleep instead of running a steal scan — an idle
+//!    pool therefore burns no steal probes and `steals_attempted` stays
+//!    flat through long sequential phases (each backstop firing is
+//!    counted in `idle_timeouts`). Parked waiters count as *idle thieves*
 //!    for the adaptive-split heuristic (`split_wanted`) — they poll for
 //!    work every 200µs, so a split made on their behalf is picked up
 //!    almost immediately.
@@ -48,12 +54,13 @@
 //! that the `repro` harness surfaces as a machine-checkable
 //! `SchedulerReport` and CI gates on.
 
+use crate::deque::{Deque, Steal};
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Hard ceiling on pool workers; budgets beyond it still work, with the
@@ -62,10 +69,10 @@ const MAX_WORKERS: usize = 64;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// One worker's scheduling state. Owners operate on the back of `deque`,
-/// thieves on the front.
+/// One worker's scheduling state. The owning thread operates on the
+/// bottom of `deque` (lock-free push/pop), thieves on the top (CAS).
 struct Worker {
-    deque: Mutex<VecDeque<Job>>,
+    deque: Deque<Job>,
     /// Jobs this worker finished executing (wherever they were queued).
     executed: AtomicU64,
 }
@@ -74,9 +81,15 @@ struct PoolState {
     /// External submissions only; workers and helpers drain it after their
     /// deques run dry.
     injector: Mutex<VecDeque<Job>>,
-    /// Worker registry, indexed by worker id. Grows monotonically under
-    /// the write lock; steal scans take the read lock.
-    workers: RwLock<Vec<Arc<Worker>>>,
+    /// Worker slots, all `MAX_WORKERS` pre-allocated at pool init so the
+    /// hot paths (own-deque pop, steal scans, executed attribution) index
+    /// a fixed array with **no lock at all** — `ensure_workers` growth
+    /// spawns OS threads but never moves this storage, so it cannot stall
+    /// a scan. Only slots `< spawned` have a live owner thread; the rest
+    /// hold empty deques that scans never visit.
+    workers: Vec<Worker>,
+    /// Serializes OS-thread spawning in `ensure_workers` (cold path).
+    growth: Mutex<()>,
     /// Pairs with `signal`: idle workers re-check `pending` under this
     /// lock before parking, and submitters notify under it, so a wakeup
     /// cannot slip between the check and the wait.
@@ -88,7 +101,8 @@ struct PoolState {
     /// callers parked in [`help_until_done`]. The adaptive-split gate
     /// reads this — a split only pays when somebody could steal it.
     idle_threads: AtomicUsize,
-    /// Total OS workers ever spawned (monotonic, mirrors registry len).
+    /// Total OS workers ever spawned (monotonic; `Release` after each
+    /// spawn, `Acquire` by scans and stats).
     spawned: AtomicUsize,
     // ---- scheduler telemetry (all monotonic, relaxed) ----
     jobs_submitted: AtomicU64,
@@ -97,6 +111,11 @@ struct PoolState {
     injector_pops: AtomicU64,
     steals_attempted: AtomicU64,
     steals_succeeded: AtomicU64,
+    /// Times an idle worker's 1 s parking backstop fired with no work
+    /// pending (it re-parked without scanning). Machine- and load-
+    /// dependent, so `check-threads` scrubs it with the rest of the
+    /// scheduler section.
+    idle_timeouts: AtomicU64,
     /// Seeds helper threads' victim rotation (workers seed from their id).
     helper_seed: AtomicU64,
 }
@@ -112,7 +131,13 @@ fn pool() -> &'static PoolState {
     static POOL: OnceLock<PoolState> = OnceLock::new();
     POOL.get_or_init(|| PoolState {
         injector: Mutex::new(VecDeque::new()),
-        workers: RwLock::new(Vec::new()),
+        workers: (0..MAX_WORKERS)
+            .map(|_| Worker {
+                deque: Deque::new(),
+                executed: AtomicU64::new(0),
+            })
+            .collect(),
+        growth: Mutex::new(()),
         idle_lock: Mutex::new(()),
         signal: Condvar::new(),
         pending: AtomicUsize::new(0),
@@ -124,6 +149,7 @@ fn pool() -> &'static PoolState {
         injector_pops: AtomicU64::new(0),
         steals_attempted: AtomicU64::new(0),
         steals_succeeded: AtomicU64::new(0),
+        idle_timeouts: AtomicU64::new(0),
         helper_seed: AtomicU64::new(0),
     })
 }
@@ -165,24 +191,31 @@ pub struct SchedulerStats {
     pub steals_attempted: u64,
     /// Jobs actually taken from another worker's deque.
     pub steals_succeeded: u64,
+    /// Idle-parking 1 s backstop timeouts that found no pending work and
+    /// re-parked. Distinguishes timeout wakeups from real notifications;
+    /// wall-clock-dependent, so report scrubbing must hide it from
+    /// cross-machine diffs (`check-threads` nulls the whole scheduler
+    /// section).
+    pub idle_timeouts: u64,
 }
 
 /// Snapshots the scheduler's telemetry counters. Cheap (a handful of
-/// relaxed loads plus one registry read lock); safe to call at any time.
+/// relaxed loads over a fixed worker array — no locks); safe to call at
+/// any time.
 pub fn scheduler_stats() -> SchedulerStats {
     let p = pool();
-    // One registry read: taking `spawned` outside the lock could tear the
-    // snapshot against `per_worker_executed` while the pool grows.
-    let per_worker_executed: Vec<u64> = {
-        let registry = p.workers.read().expect("worker registry poisoned");
-        registry
-            .iter()
-            .map(|w| w.executed.load(Ordering::Relaxed))
-            .collect()
-    };
+    // `spawned` is published with `Release` after each spawn, so slots
+    // `< n` are fully initialized owners; the snapshot length can trail a
+    // concurrent grow by design (the old registry lock had the same
+    // property — a snapshot is always of *some* recent instant).
+    let n = p.spawned.load(Ordering::Acquire);
+    let per_worker_executed: Vec<u64> = p.workers[..n]
+        .iter()
+        .map(|w| w.executed.load(Ordering::Relaxed))
+        .collect();
     let helper_executed = p.helper_executed.load(Ordering::Relaxed);
     SchedulerStats {
-        workers_spawned: per_worker_executed.len(),
+        workers_spawned: n,
         jobs_submitted: p.jobs_submitted.load(Ordering::Relaxed),
         tasks_executed: helper_executed + per_worker_executed.iter().sum::<u64>(),
         helper_executed,
@@ -191,6 +224,7 @@ pub fn scheduler_stats() -> SchedulerStats {
         injector_pops: p.injector_pops.load(Ordering::Relaxed),
         steals_attempted: p.steals_attempted.load(Ordering::Relaxed),
         steals_succeeded: p.steals_succeeded.load(Ordering::Relaxed),
+        idle_timeouts: p.idle_timeouts.load(Ordering::Relaxed),
     }
 }
 
@@ -246,21 +280,19 @@ fn steal_rotation() -> u64 {
     })
 }
 
-/// Grows the worker set to at least `target` threads (capped).
+/// Grows the worker set to at least `target` threads (capped). Cold
+/// path: spawning is serialized by `growth`, but the worker array itself
+/// is pre-allocated and never moves, so concurrent scans and pops are
+/// never stalled by growth.
 fn ensure_workers(target: usize) {
     let p = pool();
     let target = target.min(MAX_WORKERS);
-    if p.spawned.load(Ordering::Relaxed) >= target {
+    if p.spawned.load(Ordering::Acquire) >= target {
         return;
     }
-    let mut registry = p.workers.write().expect("worker registry poisoned");
-    while registry.len() < target {
-        let index = registry.len();
-        let worker = Arc::new(Worker {
-            deque: Mutex::new(VecDeque::new()),
-            executed: AtomicU64::new(0),
-        });
-        registry.push(Arc::clone(&worker));
+    let _guard = p.growth.lock().expect("pool growth lock poisoned");
+    while p.spawned.load(Ordering::Acquire) < target {
+        let index = p.spawned.load(Ordering::Relaxed);
         std::thread::Builder::new()
             // Named so panics and debugger output identify the pool.
             .name(format!("receipt-worker-{index}"))
@@ -270,7 +302,7 @@ fn ensure_workers(target: usize) {
             .stack_size(8 << 20)
             .spawn(move || worker_loop(index))
             .expect("failed to spawn pool worker");
-        p.spawned.store(registry.len(), Ordering::Relaxed);
+        p.spawned.store(index + 1, Ordering::Release);
     }
 }
 
@@ -295,40 +327,52 @@ fn worker_loop(index: usize) {
 /// (submitters bump `pending` with `SeqCst` before reading `idle_threads`,
 /// and notify under the same lock this check holds, so either the worker
 /// sees the new `pending` or the submitter sees the parked worker). The
-/// timeout is a defense-in-depth backstop only, and deliberately long: a
-/// short poll would have every idle worker burning steal scans (registry
-/// and deque locks, inflated `steals_attempted`) for the whole process
+/// 1-second timeout is a defense-in-depth backstop only, and deliberately
+/// long: a short poll would have every idle worker burning steal scans
+/// (CAS traffic, inflated `steals_attempted`) for the whole process
 /// lifetime — background noise this benchmarking harness cannot afford
-/// during its timed sequential phases.
+/// during its timed sequential phases. When the backstop does fire, the
+/// loop re-checks `pending` and goes straight back to sleep if there is
+/// still nothing to do — a timeout wakeup never escalates into a steal
+/// scan, so an idle pool's `steals_attempted` stays flat; each such
+/// firing is counted in `idle_timeouts` so telemetry can tell backstop
+/// churn from real notifications.
 fn park_idle(p: &PoolState) {
     p.idle_threads.fetch_add(1, Ordering::SeqCst);
     {
-        let guard = p.idle_lock.lock().expect("pool idle lock poisoned");
-        if p.pending.load(Ordering::SeqCst) == 0 {
-            let _ = p
+        let mut guard = p.idle_lock.lock().expect("pool idle lock poisoned");
+        while p.pending.load(Ordering::SeqCst) == 0 {
+            let (g, timeout) = p
                 .signal
                 .wait_timeout(guard, Duration::from_secs(1))
                 .expect("pool idle lock poisoned");
+            guard = g;
+            if timeout.timed_out() {
+                p.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // A real notification: leave even if `pending` was
+                // already consumed by someone faster — one full scan per
+                // notify is the pre-existing (and desired) behavior.
+                break;
+            }
         }
     }
     p.idle_threads.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Checks a job out of the scheduler, in work-stealing order: own deque
-/// from the back (LIFO — depth-first on own children), then steal from
-/// victims' fronts (FIFO — oldest, largest subtrees), then the injector.
+/// from the bottom (LIFO — depth-first on own children), then steal from
+/// victims' tops (FIFO — oldest, largest subtrees), then the injector.
 /// `lifo_injector` pops the injector from the back instead of the front:
 /// helpers on external threads want their own most recent submissions
 /// (their batch's children) first, workers want global FIFO fairness.
 fn find_job(p: &PoolState, lifo_injector: bool) -> Option<Job> {
     if let Some(index) = current_worker() {
-        let registry = p.workers.read().expect("worker registry poisoned");
-        let own = registry[index]
-            .deque
-            .lock()
-            .expect("worker deque poisoned")
-            .pop_back();
-        drop(registry);
+        // SAFETY: `index` is this thread's own worker id (thread-local),
+        // so this thread is deque `index`'s unique owner. No lock is
+        // taken — a concurrent `ensure_workers` growth spawns threads
+        // but never touches existing slots.
+        let own = unsafe { p.workers[index].deque.pop() };
         if let Some(job) = own {
             p.pending.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
@@ -354,10 +398,17 @@ fn find_job(p: &PoolState, lifo_injector: bool) -> Option<Job> {
 }
 
 /// One steal scan: a seeded-rotation starting victim, then a full cyclic
-/// pass over the registry, popping the first non-empty deque's front.
+/// pass over the live worker slots, taking the first non-empty deque's
+/// top. Entirely lock-free: the pass reads `spawned` once (`Acquire`) and
+/// indexes the fixed worker array, so a concurrent `ensure_workers`
+/// growth can never stall it (it just misses workers spawned mid-scan —
+/// the next scan sees them). A `Steal::Retry` (lost CAS race) re-probes
+/// the same victim: losing the race means someone else made progress, so
+/// the loop cannot spin forever; one `steals_attempted` is charged per
+/// victim probed, as before, keeping the counter's meaning stable across
+/// the mutex→Chase–Lev swap.
 fn try_steal(p: &PoolState) -> Option<Job> {
-    let registry = p.workers.read().expect("worker registry poisoned");
-    let n = registry.len();
+    let n = p.spawned.load(Ordering::Acquire);
     if n == 0 {
         return None;
     }
@@ -369,15 +420,16 @@ fn try_steal(p: &PoolState) -> Option<Job> {
             continue;
         }
         p.steals_attempted.fetch_add(1, Ordering::Relaxed);
-        let job = registry[victim]
-            .deque
-            .lock()
-            .expect("worker deque poisoned")
-            .pop_front();
-        if let Some(job) = job {
-            p.pending.fetch_sub(1, Ordering::SeqCst);
-            p.steals_succeeded.fetch_add(1, Ordering::Relaxed);
-            return Some(job);
+        loop {
+            match p.workers[victim].deque.steal() {
+                Steal::Success(job) => {
+                    p.pending.fetch_sub(1, Ordering::SeqCst);
+                    p.steals_succeeded.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+                Steal::Retry => std::hint::spin_loop(),
+                Steal::Empty => break,
+            }
         }
     }
     None
@@ -389,8 +441,7 @@ fn try_steal(p: &PoolState) -> Option<Job> {
 fn note_executed(p: &PoolState) {
     match current_worker() {
         Some(index) => {
-            let registry = p.workers.read().expect("worker registry poisoned");
-            registry[index].executed.fetch_add(1, Ordering::Relaxed);
+            p.workers[index].executed.fetch_add(1, Ordering::Relaxed);
         }
         None => {
             p.helper_executed.fetch_add(1, Ordering::Relaxed);
@@ -452,7 +503,7 @@ impl Latch {
 /// "every waiter is a worker" rule: a thread blocked on a batch drains
 /// work (its own sub-jobs or anyone else's) instead of idling.
 ///
-/// Workers help from their own deque's back first (their most recently
+/// Workers help from their own deque's bottom first (their most recently
 /// pushed jobs are the waiting batch's own children, so nested fork-join
 /// executes depth-first on the helper's stack — stack growth tracks the
 /// algorithm's recursion depth, not the queue length), then steal, then
@@ -501,7 +552,8 @@ unsafe fn erase_lifetime<'a>(
 
 /// Wraps a borrowed job with the submitter's budget, panic capture, and
 /// latch completion, then queues it: on the submitting worker's own deque
-/// (back), or on the shared injector for external submitters.
+/// (bottom, lock-free), or on the shared injector for external
+/// submitters.
 ///
 /// # Safety
 /// See [`erase_lifetime`]: the caller must block on `latch` before its
@@ -529,12 +581,10 @@ pub(crate) unsafe fn submit<'a>(
     p.pending.fetch_add(1, Ordering::SeqCst);
     match current_worker() {
         Some(index) => {
-            let registry = p.workers.read().expect("worker registry poisoned");
-            registry[index]
-                .deque
-                .lock()
-                .expect("worker deque poisoned")
-                .push_back(wrapped);
+            // SAFETY: `index` is this thread's own worker id, so this
+            // thread is deque `index`'s unique owner (the only thread
+            // that ever pushes or pops it).
+            unsafe { p.workers[index].deque.push(wrapped) };
         }
         None => {
             p.injector_pushes.fetch_add(1, Ordering::Relaxed);
