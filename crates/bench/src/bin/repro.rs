@@ -23,6 +23,10 @@
 //!            batch boundary, recover, and require the reference state
 //!            plus a from-scratch oracle pass; checkpoint folding and
 //!            binary-vs-text load cost ride along
+//!   versions named snapshots over the WAL (`VERSIONING.md`): tag every
+//!            batch boundary of the dynamic schedule, time-travel to each
+//!            tag with an oracle check, verify the diff law, and
+//!            cross-check the derive operators against brute force
 //!   projection  §1 motivation: unipartite-projection blowup
 //!   smoke    small deterministic oracle-checked runs (CI / golden snapshot)
 //!   all      everything above except smoke, in order
@@ -41,7 +45,8 @@
 //!
 //! `--json` emits a versioned [`receipt_bench::report::ReproReport`]
 //! document instead of text (supported for `table2`, `table3`, `wing`,
-//! `dynamic`, `serve`, `smoke` — the figure experiments are timing curves
+//! `dynamic`, `serve`, `recover`, `versions`, `smoke` — the figure
+//! experiments are timing curves
 //! with no structured content beyond what table3 already covers). Every JSON document carries
 //! a `scheduler` section (work-stealing counters; `smoke` first drives a
 //! deterministic fork-join workload through the pool so the section
@@ -105,7 +110,7 @@ fn main() {
             Some(report) => report,
             None if KNOWN_EXPERIMENTS.contains(&what.as_str()) => fail(&format!(
                 "`{what}` has no JSON form; supported: table2, table3, wing, dynamic, serve, \
-                 recover, smoke"
+                 recover, versions, smoke"
             )),
             None => fail(&format!(
                 "unknown experiment `{what}`; see --help in the module docs"
@@ -142,6 +147,7 @@ fn main() {
         "dynamic" => dynamic_experiment(),
         "serve" => serve_experiment(),
         "recover" => recover_experiment(),
+        "versions" => versions_experiment(),
         "projection" => projection_motivation(),
         "smoke" => smoke(),
         "all" => {
@@ -159,6 +165,7 @@ fn main() {
             dynamic_experiment();
             serve_experiment();
             recover_experiment();
+            versions_experiment();
             projection_motivation();
         }
         other => fail(&format!(
@@ -182,6 +189,7 @@ const KNOWN_EXPERIMENTS: &[&str] = &[
     "dynamic",
     "serve",
     "recover",
+    "versions",
     "projection",
     "smoke",
     "all",
@@ -215,6 +223,7 @@ fn build_json(what: &str) -> Option<ReproReport> {
         "dynamic" => report.dynamic = Some(dynamic_rows()),
         "serve" => report.serve = Some(serve_report(SERVE_READERS)),
         "recover" => report.recover = Some(recover_report()),
+        "versions" => report.versions = Some(versions_report()),
         "smoke" => {
             report.smoke = Some(smoke_report());
             // The smoke graphs are deliberately tiny, so drive one
@@ -771,6 +780,67 @@ fn recover_experiment() {
         );
     }
     println!("(crash states matched the uninterrupted run at every boundary)");
+}
+
+/// The graph-versioning experiment, in human-readable form. Divergence
+/// from the reference trajectory, a failed oracle, a broken diff law, or
+/// a derive mismatch panics inside `versions_report`.
+fn versions_experiment() {
+    header("versions: named snapshots, time travel, diffs, and derive");
+    let report = versions_report();
+    println!(
+        "{} over {} durable batch(es); every time travel oracle-verified",
+        report.family, report.batches
+    );
+    println!(
+        "{:<8} {:>6} {:>12} {:>18} {:>18}",
+        "tag", "lsn", "total_bf", "tip_checksum_u", "tip_checksum_v"
+    );
+    for t in &report.tags {
+        println!(
+            "{:<8} {:>6} {:>12} {:>18x} {:>18x}",
+            t.name, t.lsn, t.total_butterflies, t.tip_checksum_u, t.tip_checksum_v
+        );
+    }
+    println!(
+        "{:<8} {:>6} {:>9} {:>9} {:>9} {:>8} {:>10}",
+        "travel", "lsn", "ckpt_lsn", "replayed", "skip_abv", "oracle", "t_open(s)"
+    );
+    for t in &report.time_travel {
+        println!(
+            "{:<8} {:>6} {:>9} {:>9} {:>9} {:>8} {:>10.4}",
+            t.name,
+            t.lsn,
+            t.checkpoint_lsn,
+            t.replayed,
+            t.skipped_above,
+            t.oracle_verified,
+            t.time_open_secs,
+        );
+    }
+    println!(
+        "{:<16} {:>6} {:>8} {:>8} {:>10}",
+        "diff law", "ops", "inserts", "deletes", "law_holds"
+    );
+    for d in &report.diff_law {
+        println!(
+            "{:<16} {:>6} {:>8} {:>8} {:>10}",
+            format!("{} -> {}", d.from, d.to),
+            d.ops,
+            d.inserts,
+            d.deletes,
+            d.law_holds,
+        );
+    }
+    let dc = &report.derive_checks;
+    println!(
+        "derive: subgraph {} edge(s), union {}, difference {} (all match brute force: {})",
+        dc.subgraph_edges,
+        dc.union_edges,
+        dc.difference_edges,
+        dc.subgraph_matches && dc.union_matches && dc.difference_matches,
+    );
+    println!("(every time-travel state matched the uninterrupted run and the oracle)");
 }
 
 /// `smoke`: the oracle-checked CI workload, in human-readable form.

@@ -27,6 +27,7 @@ pub struct ReproReport {
     pub dynamic: Option<Vec<DynamicRow>>,
     pub serve: Option<ServeExperimentReport>,
     pub recover: Option<RecoverExperimentReport>,
+    pub versions: Option<VersionsExperimentReport>,
     pub smoke: Option<SmokeReport>,
     /// Cumulative work-stealing scheduler counters at the end of the run.
     /// Nondeterministic (OS-scheduling-dependent), so snapshot/diff
@@ -47,6 +48,7 @@ impl ReproReport {
             dynamic: None,
             serve: None,
             recover: None,
+            versions: None,
             smoke: None,
             scheduler: None,
         }
@@ -309,6 +311,92 @@ pub struct LoadCostRow {
     pub round_trip_identical: bool,
     pub time_text_load_secs: f64,
     pub time_binary_load_secs: f64,
+}
+
+/// `repro versions`: the graph-versioning experiment (`VERSIONING.md`).
+///
+/// The zipf dynamic schedule is streamed through a durable store with
+/// checkpoint folding disabled (so every tag stays serviceable, §3.4) and
+/// a version is tagged at every batch boundary. Then every tag is
+/// time-travelled to with [`receipt::version`]'s `open_at` and the
+/// materialized state is required to equal the reference trajectory AND
+/// pass the from-scratch oracle; `diff(a, b)` applied to `at(a)` must
+/// equal `at(b)` (§5); and the derive operators are compared against
+/// brute-force set algebra (§6). Everything except the `time_*_secs`
+/// fields is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionsExperimentReport {
+    pub family: String,
+    /// Batches in the schedule (one tag per boundary, plus the `v0` base).
+    pub batches: usize,
+    /// The tags as recorded in `versions.meta`, in LSN order.
+    pub tags: Vec<VersionTagRow>,
+    pub time_travel: Vec<TimeTravelRow>,
+    pub diff_law: Vec<DiffLawRow>,
+    pub derive_checks: DeriveChecksRow,
+    /// Every time-travel state matched the reference trajectory and passed
+    /// `verify_against_scratch` (also asserted during the run).
+    pub all_time_travels_verified: bool,
+}
+
+/// One named version as tagged during the streaming run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionTagRow {
+    pub name: String,
+    pub lsn: u64,
+    pub total_butterflies: u64,
+    pub tip_checksum_u: u64,
+    pub tip_checksum_v: u64,
+}
+
+/// One `open_at` time travel to a tagged version. `replayed` is the tag
+/// distance in WAL records — the replay-cost-vs-tag-distance data point
+/// (`EXPERIMENTS.md`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeTravelRow {
+    pub name: String,
+    pub lsn: u64,
+    pub checkpoint_lsn: u64,
+    /// WAL records replayed to reach the tag (= tag distance from base).
+    pub replayed: usize,
+    /// Committed records past the tag that were skipped.
+    pub skipped_above: usize,
+    /// Recovered butterflies + both tip checksums equal the reference
+    /// trajectory's at this boundary (asserted during the run).
+    pub matches_reference: bool,
+    /// `verify_against_scratch` passed on the time-travelled engine.
+    pub oracle_verified: bool,
+    pub time_open_secs: f64,
+}
+
+/// One check of the diff law `apply(at(a), diff(a, b)) = at(b)`
+/// (`VERSIONING.md` §5.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffLawRow {
+    pub from: String,
+    pub to: String,
+    /// Ops in the materialized diff (last-op-per-edge, so at most one per
+    /// touched edge).
+    pub ops: usize,
+    pub inserts: usize,
+    pub deletes: usize,
+    /// Applying the diff to `at(from)` produced a state with the same edge
+    /// set, butterfly count, and tip checksums as `at(to)` (asserted).
+    pub law_holds: bool,
+}
+
+/// Derive operators (`VERSIONING.md` §6) cross-checked against brute-force
+/// set algebra on the first and last tagged states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeriveChecksRow {
+    pub subgraph_edges: usize,
+    pub union_edges: usize,
+    pub difference_edges: usize,
+    /// Each operator's edge set equalled the brute-force construction
+    /// (asserted during the run).
+    pub subgraph_matches: bool,
+    pub union_matches: bool,
+    pub difference_matches: bool,
 }
 
 /// `repro smoke`: small deterministic runs cross-checked against the

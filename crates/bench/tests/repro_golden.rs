@@ -1,9 +1,10 @@
 //! Golden-snapshot tests for `repro smoke --json`, `repro dynamic --json`,
-//! `repro serve --json`, and `repro recover --json`.
+//! `repro serve --json`, `repro recover --json`, and `repro versions
+//! --json`.
 //!
 //! Runs the real harness binary, scrubs timings, and pins the documents
-//! against `tests/golden/repro_{smoke,dynamic,serve,recover}.json` at the
-//! repository root. Refresh after an intentional change with:
+//! against `tests/golden/repro_{smoke,dynamic,serve,recover,versions}.json`
+//! at the repository root. Refresh after an intentional change with:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test -p receipt-bench --test repro_golden
@@ -160,6 +161,50 @@ fn recover_report_confirms_crash_matrix() {
     for row in &recover.load_cost {
         assert!(row.round_trip_identical, "{}", row.graph);
     }
+}
+
+#[test]
+fn versions_json_matches_golden() {
+    assert_matches_golden("versions", "repro_versions.json");
+}
+
+#[test]
+fn versions_report_confirms_oracles() {
+    let doc = run_repro_json("versions");
+    let report: receipt_bench::report::ReproReport = serde_json::from_str(&doc).unwrap();
+    assert_eq!(report.experiment, "versions");
+    let versions = report.versions.expect("versions section populated");
+    assert!(versions.all_time_travels_verified);
+    // One tag per boundary plus the v0 base, LSNs counting batches.
+    assert_eq!(versions.tags.len(), versions.batches + 1);
+    for (b, tag) in versions.tags.iter().enumerate() {
+        assert_eq!(tag.name, format!("v{b}"));
+        assert_eq!(tag.lsn, b as u64);
+    }
+    // Every tag was travelled to, replaying exactly its LSN prefix, and
+    // both the reference comparison and the from-scratch oracle held.
+    assert_eq!(versions.time_travel.len(), versions.tags.len());
+    for (b, row) in versions.time_travel.iter().enumerate() {
+        assert_eq!(row.replayed, b, "{} replays its prefix", row.name);
+        assert_eq!(row.skipped_above, versions.batches - b, "{}", row.name);
+        assert!(row.matches_reference, "{}", row.name);
+        assert!(row.oracle_verified, "{}", row.name);
+    }
+    // Diff law on every adjacent pair plus the full span; the span diff
+    // is bounded by last-op-per-edge (≤ sum of the per-batch diffs).
+    assert_eq!(versions.diff_law.len(), versions.batches + 1);
+    let adjacent_ops: usize = versions.diff_law[..versions.batches]
+        .iter()
+        .map(|d| d.ops)
+        .sum();
+    let span = versions.diff_law.last().unwrap();
+    assert!(span.ops <= adjacent_ops, "span diff must coalesce ops");
+    for d in &versions.diff_law {
+        assert!(d.law_holds, "{} -> {}", d.from, d.to);
+        assert_eq!(d.ops, d.inserts + d.deletes, "{} -> {}", d.from, d.to);
+    }
+    let dc = &versions.derive_checks;
+    assert!(dc.subgraph_matches && dc.union_matches && dc.difference_matches);
 }
 
 #[test]

@@ -1,0 +1,76 @@
+//! Set-algebraic derive operators over whole graphs (`VERSIONING.md`
+//! §6) — the bipartite port of `gen`-style `derive union/difference`.
+//!
+//! Both operators treat a [`BipartiteCsr`] as its edge set plus its
+//! vertex-set dimensions and build the result with the ordinary
+//! builder, so derived graphs are canonical CSRs indistinguishable
+//! from loaded ones. The subgraph operator of the same family is
+//! [`crate::induced::InducedGraph`].
+
+use std::collections::BTreeSet;
+
+use crate::builder::from_edges;
+use crate::csr::BipartiteCsr;
+
+/// The union of two graphs (`VERSIONING.md` §6.2): vertex sets are
+/// `0..max(|U|)` and `0..max(|V|)`, the edge set is `E(a) ∪ E(b)`.
+/// Edges land in ascending `(u, v)` order, so equal inputs give
+/// byte-identical outputs.
+pub fn union(a: &BipartiteCsr, b: &BipartiteCsr) -> BipartiteCsr {
+    let edges: BTreeSet<_> = a.edges().chain(b.edges()).collect();
+    let edges: Vec<_> = edges.into_iter().collect();
+    from_edges(a.num_u().max(b.num_u()), a.num_v().max(b.num_v()), &edges)
+        .expect("union edges are deduplicated and within the max dimensions")
+}
+
+/// The difference of two graphs (`VERSIONING.md` §6.3): `a`'s vertex
+/// sets (ids keep their meaning relative to `a`), the edge set
+/// `E(a) \ E(b)`. `b`'s dimensions are irrelevant — only its edges
+/// subtract.
+pub fn difference(a: &BipartiteCsr, b: &BipartiteCsr) -> BipartiteCsr {
+    let remove: BTreeSet<_> = b.edges().collect();
+    let edges: Vec<_> = a.edges().filter(|e| !remove.contains(e)).collect();
+    from_edges(a.num_u(), a.num_v(), &edges)
+        .expect("difference edges are a subset of a's, already sorted and unique")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(nu: usize, nv: usize, edges: &[(u32, u32)]) -> BipartiteCsr {
+        from_edges(nu, nv, edges).unwrap()
+    }
+
+    #[test]
+    fn union_takes_max_dims_and_merges_edges() {
+        let a = g(2, 3, &[(0, 0), (1, 2)]);
+        let b = g(3, 2, &[(0, 0), (2, 1)]);
+        let u = union(&a, &b);
+        assert_eq!((u.num_u(), u.num_v()), (3, 3));
+        assert_eq!(u.edges().collect::<Vec<_>>(), vec![(0, 0), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn difference_keeps_a_dims() {
+        let a = g(2, 3, &[(0, 0), (0, 2), (1, 1)]);
+        let b = g(5, 5, &[(0, 2), (4, 4)]);
+        let d = difference(&a, &b);
+        assert_eq!((d.num_u(), d.num_v()), (2, 3));
+        assert_eq!(d.edges().collect::<Vec<_>>(), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn union_and_difference_invert() {
+        // (a ∪ b) \ b == a \ b; and a \ (a \ b) == a ∩ b.
+        let a = g(4, 4, &[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let b = g(4, 4, &[(1, 1), (3, 3), (0, 3)]);
+        let ab = difference(&union(&a, &b), &b);
+        assert_eq!(
+            ab.edges().collect::<Vec<_>>(),
+            difference(&a, &b).edges().collect::<Vec<_>>()
+        );
+        let inter = difference(&a, &difference(&a, &b));
+        assert_eq!(inter.edges().collect::<Vec<_>>(), vec![(1, 1), (3, 3)]);
+    }
+}

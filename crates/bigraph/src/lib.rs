@@ -26,6 +26,8 @@
 //! * [`io`] — KONECT-style whitespace edge-list reader/writer.
 //! * [`binfmt`] — the checksummed fixed-width binary graph image
 //!   (`.bgr`) specified in `FORMATS.md` §1.
+//! * [`mod@derive`] — set-algebraic union/difference over whole graphs
+//!   (`VERSIONING.md` §6), the non-induced half of `tipdecomp derive`.
 //! * [`stats`] — wedge counts and the peel/re-count cost model behind the
 //!   HUC optimization (§4.1).
 
@@ -34,6 +36,7 @@ pub mod builder;
 pub mod compact;
 pub mod csr;
 pub mod datasets;
+pub mod derive;
 pub mod dynamic;
 pub mod gen;
 pub mod induced;

@@ -89,6 +89,38 @@ pub enum Command {
         json: bool,
         output: Option<String>,
     },
+    /// `version <tag|list|diff|at> <dir> [names..] [--verify]
+    /// [--dump FILE] [--json] [--output FILE]` — named versions over a
+    /// durable store (`VERSIONING.md`).
+    Version {
+        /// `"tag"`, `"list"`, `"diff"`, or `"at"`.
+        op: String,
+        dir: String,
+        /// Tag names: one for `tag`/`at`, two for `diff`, none for `list`.
+        names: Vec<String>,
+        /// `at` only: additionally oracle-verify the materialized state.
+        verify: bool,
+        /// `at` only: write the materialized graph here (text, or the
+        /// `.bgr` binary image by extension) for `derive` to consume.
+        dump: Option<String>,
+        json: bool,
+        output: Option<String>,
+    },
+    /// `derive <subgraph|union|diff> <a> [<b>] [--ids LIST] [--side U|V]
+    /// --output FILE [--json]` — set-algebraic graph construction
+    /// (`VERSIONING.md` §6).
+    Derive {
+        /// `"subgraph"`, `"union"`, or `"diff"`.
+        op: String,
+        a: String,
+        /// Second input (`union`/`diff`).
+        b: Option<String>,
+        /// Comma-separated primary-side ids (`subgraph`).
+        ids: Vec<u32>,
+        side: Side,
+        output: String,
+        json: bool,
+    },
     /// `ktips <input> -k N [--side U|V]`
     KTips {
         input: String,
@@ -118,6 +150,8 @@ impl Command {
             Command::Serve { .. } => "serve",
             Command::Convert { .. } => "convert",
             Command::Recover { .. } => "recover",
+            Command::Version { .. } => "version",
+            Command::Derive { .. } => "derive",
             Command::KTips { .. } => "ktips",
             Command::Stats { .. } => "stats",
             Command::Generate { .. } => "generate",
@@ -156,6 +190,15 @@ USAGE:
   tipdecomp convert <in> <out> [--from text|binary] [--to text|binary]
                               [--json]
   tipdecomp recover <dir>     [--json] [--output FILE]
+  tipdecomp version tag  <dir> <name>      [--json]
+  tipdecomp version list <dir>             [--json] [--output FILE]
+  tipdecomp version diff <dir> <a> <b>     [--json] [--output FILE]
+  tipdecomp version at   <dir> <name>      [--verify] [--dump FILE]
+                              [--json] [--output FILE]
+  tipdecomp derive subgraph <a> --ids 0,2,5 [--side U|V] --output FILE
+                              [--json]
+  tipdecomp derive union <a> <b>  --output FILE [--json]
+  tipdecomp derive diff  <a> <b>  --output FILE [--json]
   tipdecomp ktips <edges.tsv> -k N [--side U|V]
   tipdecomp stats <edges.tsv>
   tipdecomp generate <It|De|Or|Lj|En|Tr> [--output FILE]
@@ -186,9 +229,33 @@ and the checksummed `.bgr` binary image (formats inferred from the
 repairs a torn WAL tail, replays committed records past the
 checkpoint, and verifies the result against a from-scratch recount +
 re-peel. On-disk layouts are pinned in FORMATS.md.
+Versioning: `version tag DIR NAME` names the store's current end state
+as an immutable version; `list` shows every version; `diff A B` emits
+the net `+/-` batch between two versions (stream-compatible lines);
+`at NAME` replays to the tagged LSN, checks the state's checksums
+against the ref, and (with `--dump`) writes the materialized graph for
+`derive` to consume. `derive` builds new graphs set-algebraically:
+`subgraph` induces on `--ids` of `--side` (the subset becomes the new
+U side), `union`/`diff` merge or subtract edge sets. Contracts and
+`versions.meta` bytes are pinned in VERSIONING.md; serve mode speaks
+the same `tag`/`at` as request ops.
 Output: `--json` emits a versioned report document (see README, \"JSON
 output\") instead of TSV; `--out` is an alias for `--output`.
 ";
+
+/// Positional (non-flag) arguments, skipping the value of every option
+/// in `value_opts` so `--output FILE` and friends are not mistaken for
+/// inputs. Used by the multi-positional subcommands (`version`,
+/// `derive`).
+fn positionals(rest: &[&String], value_opts: &[&str]) -> Vec<String> {
+    rest.iter()
+        .enumerate()
+        .filter(|(i, s)| {
+            !s.starts_with('-') && (*i == 0 || !value_opts.contains(&rest[i - 1].as_str()))
+        })
+        .map(|(_, s)| s.to_string())
+        .collect()
+}
 
 /// Parses `args` (without the binary name).
 pub fn parse(args: &[String]) -> Result<Command, UsageError> {
@@ -353,6 +420,96 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             json: flag("--json"),
             output: output(),
         }),
+        "version" => {
+            let non_flags = positionals(&rest, &["--dump", "--output", "--out"]);
+            let [op, tail @ ..] = non_flags.as_slice() else {
+                return Err(UsageError(
+                    "`version` needs an operation: tag, list, diff, or at".into(),
+                ));
+            };
+            let [dir, names @ ..] = tail else {
+                return Err(UsageError(format!(
+                    "`version {op}` needs a store directory"
+                )));
+            };
+            let arity = match op.as_str() {
+                "tag" | "at" => 1,
+                "list" => 0,
+                "diff" => 2,
+                other => {
+                    return Err(UsageError(format!(
+                        "unknown version operation {other:?} (tag, list, diff, or at)"
+                    )))
+                }
+            };
+            if names.len() != arity {
+                return Err(UsageError(format!(
+                    "`version {op}` takes {arity} tag name(s), got {}",
+                    names.len()
+                )));
+            }
+            Ok(Command::Version {
+                op: op.clone(),
+                dir: dir.clone(),
+                names: names.to_vec(),
+                verify: flag("--verify"),
+                dump: opt("--dump").cloned(),
+                json: flag("--json"),
+                output: output(),
+            })
+        }
+        "derive" => {
+            let non_flags = positionals(&rest, &["--ids", "--side", "--output", "--out"]);
+            let [op, inputs @ ..] = non_flags.as_slice() else {
+                return Err(UsageError(
+                    "`derive` needs an operation: subgraph, union, or diff".into(),
+                ));
+            };
+            let want_b = match op.as_str() {
+                "subgraph" => false,
+                "union" | "diff" => true,
+                other => {
+                    return Err(UsageError(format!(
+                        "unknown derive operation {other:?} (subgraph, union, or diff)"
+                    )))
+                }
+            };
+            let (a, b) = match (inputs, want_b) {
+                ([a], false) => (a.clone(), None),
+                ([a, b], true) => (a.clone(), Some(b.clone())),
+                _ => {
+                    return Err(UsageError(format!(
+                        "`derive {op}` takes {} input graph(s), got {}",
+                        1 + usize::from(want_b),
+                        inputs.len()
+                    )))
+                }
+            };
+            let ids = match (op.as_str(), opt("--ids")) {
+                ("subgraph", Some(list)) => list
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse::<u32>().map_err(|_| {
+                            UsageError(format!("--ids expects comma-separated ids, got {s:?}"))
+                        })
+                    })
+                    .collect::<Result<Vec<u32>, _>>()?,
+                ("subgraph", None) => {
+                    return Err(UsageError("`derive subgraph` needs --ids LIST".into()))
+                }
+                _ => Vec::new(),
+            };
+            Ok(Command::Derive {
+                op: op.clone(),
+                a,
+                b,
+                ids,
+                side,
+                output: output()
+                    .ok_or_else(|| UsageError(format!("`derive {op}` needs --output FILE")))?,
+                json: flag("--json"),
+            })
+        }
         "ktips" => {
             let k = opt("-k")
                 .ok_or_else(|| UsageError("ktips needs -k N".into()))?
@@ -381,6 +538,29 @@ fn load(input: &str) -> Result<BipartiteCsr, String> {
     // (`IoError::File`), so the message already reads "failed to read
     // <path>: ...".
     bigraph::io::read_graph_path(input).map_err(|e| e.to_string())
+}
+
+/// Reads a graph in either on-disk format, inferring the FORMATS.md §1
+/// binary image from a `.bgr` extension (same rule as `convert`).
+fn load_any(path: &str) -> Result<BipartiteCsr, String> {
+    if path.ends_with(".bgr") {
+        bigraph::binfmt::read_binary_graph_path(path)
+            .map(|r| r.graph)
+            .map_err(|e| e.to_string())
+    } else {
+        load(path)
+    }
+}
+
+/// Writes a graph in either on-disk format, `.bgr` by extension.
+fn write_any(g: &BipartiteCsr, path: &str) -> Result<(), String> {
+    if path.ends_with(".bgr") {
+        bigraph::binfmt::write_binary_graph_path(path, g)
+            .map(|_| ())
+            .map_err(|e| format!("cannot write {path}: {e}"))
+    } else {
+        bigraph::io::write_graph_path(g, path).map_err(|e| format!("cannot write {path}: {e}"))
+    }
 }
 
 fn sink(output: &Option<String>) -> Result<Box<dyn Write>, String> {
@@ -697,6 +877,51 @@ pub fn handle_request(
                 req_side(&value).unwrap_or(Side::U),
                 &outcome,
             ));
+        }
+        "tag" => {
+            // Versioning ops need the durable store next to the WAL
+            // (`VERSIONING.md` §2); a memory-only engine has no history
+            // to tag.
+            let Some(dir) = engine.store_dir() else {
+                return fail(&op, "tag requires a durable store (serve --wal DIR)".into());
+            };
+            let Some(name) = value.get("name").and_then(|v| v.as_str()) else {
+                return fail(&op, "tag needs a string `name` field".into());
+            };
+            let mut versions = match receipt::version::VersionStore::open(&dir) {
+                Ok(v) => v,
+                Err(e) => return fail(&op, e.to_string()),
+            };
+            // The tag names the engine's current end state (§3.2): the
+            // published snapshot plus the LSN it was committed under.
+            let lsn = engine.end_lsn().unwrap_or(0);
+            match versions.tag_snapshot(name, lsn, &snapshot) {
+                Ok(vref) => {
+                    response.version = Some(receipt::report::VersionEntryReport::from_ref(vref))
+                }
+                Err(e) => return fail(&op, e.to_string()),
+            }
+        }
+        "at" => {
+            let Some(dir) = engine.store_dir() else {
+                return fail(&op, "at requires a durable store (serve --wal DIR)".into());
+            };
+            let Some(name) = value.get("name").and_then(|v| v.as_str()) else {
+                return fail(&op, "at needs a string `name` field".into());
+            };
+            // Time travel replays into a throwaway read-only engine;
+            // `open_at` already checksum-verifies the reached state, so
+            // the per-batch differential oracle stays off.
+            let mut options = engine.options().clone();
+            options.verify = false;
+            match StreamEngine::open_at(&dir, name, options) {
+                Ok((historic, info)) => {
+                    response.version =
+                        Some(receipt::report::VersionEntryReport::from_ref(&info.version));
+                    response.stats = Some(ServeStats::from_snapshot(&historic.snapshot()));
+                }
+                Err(e) => return fail(&op, e.to_string()),
+            }
         }
         "shutdown" => return Ok((response, true)),
         other => return fail(other, format!("unknown op {other:?}")),
@@ -1230,6 +1455,253 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Version {
+            op,
+            dir,
+            names,
+            verify,
+            dump,
+            json,
+            output,
+        } => {
+            use receipt::report::{
+                TimeTravelReport, VersionDiffReport, VersionEntryReport, VersionReport,
+            };
+            use receipt::version::{self, VersionStore};
+            let dpath = std::path::Path::new(&dir);
+            if !receipt::wal::Store::exists(dpath) {
+                return Err(format!(
+                    "no store at {dir} (expected checkpoint.meta; see FORMATS.md \u{a7}4)"
+                ));
+            }
+            let options = || EngineOptions {
+                config: Config::default(),
+                dirty_threshold: receipt::dynamic::DEFAULT_DIRTY_THRESHOLD,
+                compact_threshold: bigraph::dynamic::DEFAULT_COMPACT_THRESHOLD,
+                verify: false,
+            };
+            let entry_line = |e: &VersionEntryReport| {
+                format!(
+                    "{}\tlsn {}\t{} butterflies\ttip checksums {:#018x}/{:#018x}",
+                    e.name, e.lsn, e.total_butterflies, e.tip_checksum_u, e.tip_checksum_v
+                )
+            };
+            let mut report = VersionReport::new(&op, &dir);
+            match op.as_str() {
+                "tag" => {
+                    let vref = version::tag_head(dpath, &names[0], options())
+                        .map_err(|e| e.to_string())?;
+                    report.tagged = Some(VersionEntryReport::from_ref(&vref));
+                    let vs = VersionStore::open(dpath).map_err(|e| e.to_string())?;
+                    report.versions =
+                        Some(vs.list().iter().map(VersionEntryReport::from_ref).collect());
+                    if json {
+                        emit_json(&report, &output)?;
+                    } else {
+                        let mut out = sink(&output)?;
+                        writeln!(
+                            out,
+                            "tagged {}",
+                            entry_line(report.tagged.as_ref().unwrap())
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                }
+                "list" => {
+                    let vs = VersionStore::open(dpath).map_err(|e| e.to_string())?;
+                    report.versions =
+                        Some(vs.list().iter().map(VersionEntryReport::from_ref).collect());
+                    if json {
+                        emit_json(&report, &output)?;
+                    } else {
+                        let mut out = sink(&output)?;
+                        for e in report.versions.as_ref().unwrap() {
+                            writeln!(out, "{}", entry_line(e)).map_err(|e| e.to_string())?;
+                        }
+                    }
+                }
+                "diff" => {
+                    let vs = VersionStore::open(dpath).map_err(|e| e.to_string())?;
+                    let ops = vs.diff(&names[0], &names[1]).map_err(|e| e.to_string())?;
+                    let lines: Vec<String> = ops
+                        .iter()
+                        .map(|op| {
+                            let (u, v) = op.edge();
+                            match op {
+                                bigraph::EdgeOp::Insert(..) => format!("+ {u} {v}"),
+                                bigraph::EdgeOp::Delete(..) => format!("- {u} {v}"),
+                            }
+                        })
+                        .collect();
+                    let count = |f: fn(&String) -> bool| lines.iter().filter(|l| f(l)).count();
+                    report.diff = Some(VersionDiffReport {
+                        from: VersionEntryReport::from_ref(vs.lookup(&names[0]).unwrap()),
+                        to: VersionEntryReport::from_ref(vs.lookup(&names[1]).unwrap()),
+                        inserts: count(|l| l.starts_with('+')),
+                        deletes: count(|l| l.starts_with('-')),
+                        ops: lines,
+                    });
+                    if json {
+                        emit_json(&report, &output)?;
+                    } else {
+                        // Bare batch lines: `--output FILE` yields a file
+                        // that `tipdecomp stream` replays as one batch.
+                        let mut out = sink(&output)?;
+                        for line in &report.diff.as_ref().unwrap().ops {
+                            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+                        }
+                    }
+                }
+                "at" => {
+                    let t0 = std::time::Instant::now();
+                    let (engine, info) = StreamEngine::open_at(dpath, &names[0], options())
+                        .map_err(|e| e.to_string())?;
+                    let time_travel_secs = t0.elapsed().as_secs_f64();
+                    let t1 = std::time::Instant::now();
+                    if verify {
+                        engine.verify_against_scratch().map_err(|e| {
+                            format!("time-travel state failed oracle verification: {e}")
+                        })?;
+                    }
+                    let time_verify_secs = t1.elapsed().as_secs_f64();
+                    let snapshot = engine.snapshot();
+                    if let Some(path) = &dump {
+                        write_any(snapshot.graph(), path)?;
+                    }
+                    report.at = Some(TimeTravelReport {
+                        version: VersionEntryReport::from_ref(&info.version),
+                        checkpoint_lsn: info.checkpoint_lsn,
+                        wal_records: info.wal_records,
+                        replayed: info.replayed,
+                        skipped_folded: info.skipped_folded,
+                        skipped_above: info.skipped_above,
+                        wal_end: info.wal_end,
+                        final_epoch: snapshot.epoch(),
+                        num_u: snapshot.graph().num_u(),
+                        num_v: snapshot.graph().num_v(),
+                        num_edges: snapshot.graph().num_edges(),
+                        total_butterflies: snapshot.total_butterflies(),
+                        theta_max_u: snapshot.theta_max(Side::U),
+                        theta_max_v: snapshot.theta_max(Side::V),
+                        tip_checksum_u: snapshot.tip_checksum(Side::U),
+                        tip_checksum_v: snapshot.tip_checksum(Side::V),
+                        verified: verify,
+                        time_travel_secs,
+                        time_verify_secs,
+                    });
+                    if json {
+                        emit_json(&report, &output)?;
+                    } else {
+                        let at = report.at.as_ref().unwrap();
+                        let mut out = sink(&output)?;
+                        writeln!(
+                            out,
+                            "at {}: checkpoint lsn {}, replayed {}/{} record(s) \
+                             (skipped {} folded, {} above the tag), wal end {}",
+                            entry_line(&at.version),
+                            at.checkpoint_lsn,
+                            at.replayed,
+                            at.wal_records,
+                            at.skipped_folded,
+                            at.skipped_above,
+                            at.wal_end
+                        )
+                        .map_err(|e| e.to_string())?;
+                        writeln!(
+                            out,
+                            "state: {} x {}, {} edges, {} butterflies{}",
+                            at.num_u,
+                            at.num_v,
+                            at.num_edges,
+                            at.total_butterflies,
+                            if at.verified { ", oracle verified" } else { "" }
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                }
+                _ => unreachable!("parse validated the version operation"),
+            }
+            Ok(())
+        }
+        Command::Derive {
+            op,
+            a,
+            b,
+            ids,
+            side,
+            output,
+            json,
+        } => {
+            let t0 = std::time::Instant::now();
+            let ga = load_any(&a)?;
+            let derived = match op.as_str() {
+                "subgraph" => {
+                    // VERSIONING.md §6.1: ids strictly increasing,
+                    // in-range, non-empty.
+                    if ids.is_empty() {
+                        return Err(
+                            "derive subgraph: --ids must be non-empty (VERSIONING.md \u{a7}6.1)"
+                                .into(),
+                        );
+                    }
+                    if let Some(w) = ids.windows(2).find(|w| w[0] >= w[1]) {
+                        return Err(format!(
+                            "derive subgraph: --ids must be strictly increasing \
+                             (VERSIONING.md \u{a7}6.1), got {} before {}",
+                            w[0], w[1]
+                        ));
+                    }
+                    let n = match side {
+                        Side::U => ga.num_u(),
+                        Side::V => ga.num_v(),
+                    };
+                    let max = *ids.last().unwrap();
+                    if max as usize >= n {
+                        return Err(format!(
+                            "derive subgraph: id {max} out of range (side {side} has {n} \
+                             vertices)"
+                        ));
+                    }
+                    bigraph::InducedGraph::new(ga.view(side), &ids)
+                        .csr()
+                        .clone()
+                }
+                "union" => {
+                    let gb = load_any(b.as_ref().expect("parse guarantees a second input"))?;
+                    bigraph::derive::union(&ga, &gb)
+                }
+                _ => {
+                    let gb = load_any(b.as_ref().expect("parse guarantees a second input"))?;
+                    bigraph::derive::difference(&ga, &gb)
+                }
+            };
+            write_any(&derived, &output)?;
+            let report = receipt::report::DeriveReport {
+                schema_version: receipt::report::SCHEMA_VERSION,
+                kind: "derive".to_string(),
+                op: op.clone(),
+                a: a.clone(),
+                b: b.clone(),
+                subset: if op == "subgraph" { Some(ids) } else { None },
+                side: if op == "subgraph" { Some(side) } else { None },
+                output: output.clone(),
+                num_u: derived.num_u(),
+                num_v: derived.num_v(),
+                num_edges: derived.num_edges(),
+                time_derive_secs: t0.elapsed().as_secs_f64(),
+            };
+            if json {
+                // `output` is the derived graph's destination, so the
+                // report document goes to stdout (like `convert`).
+                emit_json(&report, &None)?;
+            } else {
+                eprintln!(
+                    "derived {op} -> {output}: {} x {}, {} edges",
+                    report.num_u, report.num_v, report.num_edges
+                );
+            }
+            Ok(())
+        }
         Command::KTips { input, side, k } => {
             let g = load(&input)?;
             let d = receipt::tip_decompose(&g, side, &Config::default());
@@ -1683,5 +2155,124 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("unknown preset"));
+    }
+
+    #[test]
+    fn parse_version_subcommands() {
+        let cmd = parse(&sv(&["version", "tag", "store", "v1", "--json"])).unwrap();
+        match cmd {
+            Command::Version {
+                op,
+                dir,
+                names,
+                json,
+                ..
+            } => {
+                assert_eq!(op, "tag");
+                assert_eq!(dir, "store");
+                assert_eq!(names, vec!["v1".to_string()]);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&sv(&["version", "list", "store"])).unwrap();
+        match cmd {
+            Command::Version { op, names, .. } => {
+                assert_eq!(op, "list");
+                assert!(names.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&sv(&[
+            "version", "diff", "store", "v0", "v2", "--output", "d.txt",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Version {
+                op, names, output, ..
+            } => {
+                assert_eq!(op, "diff");
+                assert_eq!(names, vec!["v0".to_string(), "v2".to_string()]);
+                assert_eq!(output.as_deref(), Some("d.txt"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // A no-value flag before a positional must not swallow it.
+        let cmd = parse(&sv(&[
+            "version", "at", "store", "--verify", "v1", "--dump", "g.bgr",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Version {
+                op,
+                names,
+                verify,
+                dump,
+                ..
+            } => {
+                assert_eq!(op, "at");
+                assert_eq!(names, vec!["v1".to_string()]);
+                assert!(verify);
+                assert_eq!(dump.as_deref(), Some("g.bgr"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Arity is per-op: tag/at take one name, list none, diff two.
+        assert!(parse(&sv(&["version"])).is_err());
+        assert!(parse(&sv(&["version", "tag", "store"])).is_err());
+        assert!(parse(&sv(&["version", "list", "store", "extra"])).is_err());
+        assert!(parse(&sv(&["version", "diff", "store", "v0"])).is_err());
+        assert!(parse(&sv(&["version", "promote", "store", "v0"])).is_err());
+    }
+
+    #[test]
+    fn parse_derive_subcommands() {
+        let cmd = parse(&sv(&[
+            "derive", "subgraph", "a.tsv", "--ids", "0,2,5", "--side", "V", "--output", "s.tsv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Derive {
+                op,
+                a,
+                b,
+                ids,
+                side,
+                output,
+                json,
+            } => {
+                assert_eq!(op, "subgraph");
+                assert_eq!(a, "a.tsv");
+                assert!(b.is_none());
+                assert_eq!(ids, vec![0, 2, 5]);
+                assert_eq!(side, Side::V);
+                assert_eq!(output, "s.tsv");
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&sv(&[
+            "derive", "union", "a.tsv", "b.bgr", "--output", "u.bgr", "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Derive { op, a, b, json, .. } => {
+                assert_eq!(op, "union");
+                assert_eq!(a, "a.tsv");
+                assert_eq!(b.as_deref(), Some("b.bgr"));
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+        // subgraph requires --ids, union/diff require a second input,
+        // every op requires --output.
+        assert!(parse(&sv(&["derive", "subgraph", "a.tsv", "--output", "s.tsv"])).is_err());
+        assert!(parse(&sv(&["derive", "union", "a.tsv", "--output", "u.tsv"])).is_err());
+        assert!(parse(&sv(&["derive", "diff", "a.tsv", "b.tsv"])).is_err());
+        assert!(parse(&sv(&[
+            "derive", "subgraph", "a.tsv", "--ids", "2,x", "--output", "s"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&["derive", "invert", "a.tsv", "--output", "o"])).is_err());
     }
 }

@@ -156,6 +156,90 @@ fn recover_json_matches_golden() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Builds a deterministic tagged store for the versioning goldens: tag
+/// the base as `v0`, then tag after each of two durable applies. LSNs,
+/// checksums, and diff contents are all machine-independent.
+fn tagged_store_dir(tag: &str) -> PathBuf {
+    let dir = fixture_dir(tag);
+    std::fs::write(
+        dir.join("req.txt"),
+        "{\"op\": \"tag\", \"name\": \"v0\"}\n\
+         {\"op\": \"apply\", \"ops\": [\"+2 1\"]}\n\
+         {\"op\": \"tag\", \"name\": \"v1\"}\n\
+         {\"op\": \"apply\", \"ops\": [\"-0 0\", \"+0 1\"]}\n\
+         {\"op\": \"tag\", \"name\": \"v2\"}\n\
+         {\"op\": \"shutdown\"}\n",
+    )
+    .unwrap();
+    run_json(
+        &dir,
+        &["serve", "g.tsv", "--requests", "req.txt", "--wal", "store"],
+    );
+    dir
+}
+
+#[test]
+fn version_list_json_matches_golden() {
+    let dir = tagged_store_dir("version_list");
+    let doc = run_json(&dir, &["version", "list", "store", "--json"]);
+    assert_golden(&doc, "version_list_fixture.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_diff_json_matches_golden() {
+    let dir = tagged_store_dir("version_diff");
+    let doc = run_json(&dir, &["version", "diff", "store", "v0", "v2", "--json"]);
+    assert_golden(&doc, "version_diff_fixture.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_at_json_matches_golden() {
+    let dir = tagged_store_dir("version_at");
+    let doc = run_json(
+        &dir,
+        &["version", "at", "store", "v1", "--verify", "--json"],
+    );
+    assert_golden(&doc, "version_at_fixture.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn derive_subgraph_json_matches_golden() {
+    let dir = fixture_dir("derive_subgraph");
+    let doc = run_json(
+        &dir,
+        &[
+            "derive", "subgraph", "g.tsv", "--ids", "0,1", "--side", "U", "--output", "sub.tsv",
+            "--json",
+        ],
+    );
+    assert_golden(&doc, "derive_subgraph_fixture.json");
+    // The derived graph is on disk and loadable: the one butterfly of the
+    // fixture lives entirely inside {u0, u1}.
+    let sub = std::fs::read_to_string(dir.join("sub.tsv")).unwrap();
+    assert_eq!(sub.lines().filter(|l| !l.starts_with('%')).count(), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn derive_union_json_matches_golden() {
+    let dir = fixture_dir("derive_union");
+    std::fs::write(dir.join("h.tsv"), "% second input\n0 0\n3 2\n").unwrap();
+    let doc = run_json(
+        &dir,
+        &[
+            "derive", "union", "g.tsv", "h.tsv", "--output", "u.bgr", "--json",
+        ],
+    );
+    assert_golden(&doc, "derive_union_fixture.json");
+    // Round trip through the binary image: 5 + 1 new edge.
+    let round = bigraph::binfmt::read_binary_graph_path(dir.join("u.bgr")).unwrap();
+    assert_eq!(round.graph.num_edges(), 6);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn json_round_trips_byte_identically() {
     // Independent of the snapshots: whatever the binary emits must

@@ -327,8 +327,13 @@ impl StreamEngine {
     }
 
     /// The shared batch path. With `durable` off the WAL is bypassed —
-    /// used by recovery to re-apply records that are already committed.
-    fn apply_batch_inner(&self, ops: &[EdgeOp], durable: bool) -> Result<BatchOutcome, String> {
+    /// used by recovery and time travel (`receipt::version`) to re-apply
+    /// records that are already committed.
+    pub(crate) fn apply_batch_inner(
+        &self,
+        ops: &[EdgeOp],
+        durable: bool,
+    ) -> Result<BatchOutcome, String> {
         let mut guard = self.inner.lock();
         // Reborrow through the guard so the field borrows split.
         let core = &mut *guard;
@@ -414,6 +419,17 @@ impl StreamEngine {
             .log
             .as_ref()
             .map(|log| log.checkpoint_lsn())
+    }
+
+    /// Directory of the attached durable store, for durable engines.
+    /// Versioning surfaces (serve-mode `tag`/`at`) use this to reach the
+    /// store's `versions.meta` next to the WAL.
+    pub fn store_dir(&self) -> Option<std::path::PathBuf> {
+        self.inner
+            .lock()
+            .log
+            .as_ref()
+            .map(|log| log.dir().to_path_buf())
     }
 
     fn attach_log(&self, log: DurableLog) {

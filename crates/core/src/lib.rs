@@ -22,7 +22,10 @@
 //!   readers (the `tipdecomp serve` backend);
 //! * [`wal`] — the write-ahead log and checkpointed store (`FORMATS.md`)
 //!   that make the stream durable, with recovery proven exact by the
-//!   [`dynamic`] oracle.
+//!   [`dynamic`] oracle;
+//! * [`version`] — named versions over the durable store
+//!   (`VERSIONING.md`): tags, version diffs, and time-travel opens that
+//!   replay to a tagged LSN and publish a read-only snapshot.
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub mod peel;
 pub mod queue;
 pub mod report;
 pub mod support;
+pub mod version;
 pub mod wal;
 pub mod wing;
 pub mod wing_parallel;

@@ -241,6 +241,10 @@ pub struct ServeResponse {
     pub stats: Option<ServeStats>,
     /// The per-batch row of an `apply`.
     pub batch: Option<StreamBatchReport>,
+    /// The ref a `tag` created or an `at` resolved (`VERSIONING.md`
+    /// §3.2/§4); `at` answers additionally carry the historical state in
+    /// `stats`.
+    pub version: Option<VersionEntryReport>,
 }
 
 impl ServeResponse {
@@ -259,6 +263,7 @@ impl ServeResponse {
             topk: None,
             stats: None,
             batch: None,
+            version: None,
         }
     }
 
@@ -399,11 +404,163 @@ pub struct RecoverReport {
     pub time_verify_secs: f64,
 }
 
+/// One version ref in JSON shape — the unit of `tipdecomp version`
+/// answers and serve-mode `tag`/`at` responses (`VERSIONING.md` §1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionEntryReport {
+    /// The tag name.
+    pub name: String,
+    /// Last WAL record included in the version (0 = initial graph).
+    pub lsn: u64,
+    pub total_butterflies: u64,
+    /// FNV-1a digests of the tagged tip numbers in id order, per side.
+    pub tip_checksum_u: u64,
+    pub tip_checksum_v: u64,
+}
+
+impl VersionEntryReport {
+    pub fn from_ref(vref: &crate::version::VersionRef) -> Self {
+        VersionEntryReport {
+            name: vref.name.clone(),
+            lsn: vref.lsn,
+            total_butterflies: vref.total_butterflies,
+            tip_checksum_u: vref.tip_checksum_u,
+            tip_checksum_v: vref.tip_checksum_v,
+        }
+    }
+}
+
+/// The `version diff` section: the net batch between two versions
+/// (`VERSIONING.md` §5). `ops` uses the stream batch-file line syntax
+/// (`+ u v` / `- u v`), so a diff written to a file replays through
+/// `tipdecomp stream` as-is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionDiffReport {
+    /// The older version (`a`).
+    pub from: VersionEntryReport,
+    /// The newer version (`b`).
+    pub to: VersionEntryReport,
+    /// Net insertions in the diff.
+    pub inserts: usize,
+    /// Net deletions in the diff.
+    pub deletes: usize,
+    /// The batch, one op per entry, ascending `(u, v)`.
+    pub ops: Vec<String>,
+}
+
+/// The `version at` section: what time travel (`VERSIONING.md` §4)
+/// found, replayed, and verified — the versioned sibling of
+/// [`RecoverReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeTravelReport {
+    /// The resolved version.
+    pub version: VersionEntryReport,
+    /// LSN of the checkpoint replay started from.
+    pub checkpoint_lsn: u64,
+    /// Committed records found in the WAL.
+    pub wal_records: usize,
+    /// Records replayed to reach the tag.
+    pub replayed: usize,
+    /// Records already folded into the base snapshot.
+    pub skipped_folded: usize,
+    /// Records above the tag LSN, deliberately not applied.
+    pub skipped_above: usize,
+    /// The WAL's last committed LSN.
+    pub wal_end: u64,
+    /// Engine epoch after replay (= records replayed).
+    pub final_epoch: u64,
+    pub num_u: usize,
+    pub num_v: usize,
+    pub num_edges: usize,
+    pub total_butterflies: u64,
+    pub theta_max_u: u64,
+    pub theta_max_v: u64,
+    /// FNV-1a digests of the materialized tip numbers, per side. Equal
+    /// to the tagged checksums by §4 step 5 — `open_at` fails closed
+    /// otherwise.
+    pub tip_checksum_u: u64,
+    pub tip_checksum_v: u64,
+    /// The materialized state additionally passed
+    /// `verify_against_scratch` (only run when requested; `false` means
+    /// not run, a failure is a run error).
+    pub verified: bool,
+    pub time_travel_secs: f64,
+    pub time_verify_secs: f64,
+}
+
+/// Whole-document report of one `tipdecomp version` run. One struct for
+/// all four subcommands (the vendored `serde_derive` has no data
+/// enums): `op` says which of `tag`/`list`/`diff`/`at` ran and exactly
+/// that op's sections are non-`null`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionReport {
+    pub schema_version: u32,
+    /// Always `"version"`.
+    pub kind: String,
+    /// `"tag"`, `"list"`, `"diff"`, or `"at"`.
+    pub op: String,
+    /// Store directory, as given on the command line.
+    pub dir: String,
+    /// Every version in creation order (`list`, and `tag` after the
+    /// append).
+    pub versions: Option<Vec<VersionEntryReport>>,
+    /// The ref a `tag` just created.
+    pub tagged: Option<VersionEntryReport>,
+    /// The `diff` section.
+    pub diff: Option<VersionDiffReport>,
+    /// The `at` section.
+    pub at: Option<TimeTravelReport>,
+}
+
+impl VersionReport {
+    /// A skeleton with every section empty; fill the one `op` produces.
+    pub fn new(op: impl Into<String>, dir: impl Into<String>) -> Self {
+        VersionReport {
+            schema_version: SCHEMA_VERSION,
+            kind: "version".to_string(),
+            op: op.into(),
+            dir: dir.into(),
+            versions: None,
+            tagged: None,
+            diff: None,
+            at: None,
+        }
+    }
+}
+
+/// One `tipdecomp derive` run (`VERSIONING.md` §6): which operator, its
+/// inputs, and the shape of the graph it wrote.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeriveReport {
+    pub schema_version: u32,
+    /// Always `"derive"`.
+    pub kind: String,
+    /// `"subgraph"`, `"union"`, or `"diff"`.
+    pub op: String,
+    /// First input graph path.
+    pub a: String,
+    /// Second input graph path (`union`/`diff`; `null` for `subgraph`).
+    pub b: Option<String>,
+    /// The primary-side subset (`subgraph` only), as given.
+    pub subset: Option<Vec<u32>>,
+    /// Side the subset indexes (`subgraph` only).
+    pub side: Option<Side>,
+    /// Destination path of the derived graph.
+    pub output: String,
+    pub num_u: usize,
+    pub num_v: usize,
+    pub num_edges: usize,
+    pub time_derive_secs: f64,
+}
+
 /// Canonicalizes every timing field in a parsed report so documents can be
 /// compared across runs and machines: object values under keys starting
 /// with `time_` are zeroed — `Duration` objects get `secs`/`nanos` set to
 /// 0, plain numbers (`time_*_secs` floats in `repro` rows) become 0.
-/// Recurses through arrays and objects; every other field is untouched.
+/// Recurses through arrays and objects — including `time_`-prefixed keys
+/// holding non-timing containers (e.g. the `time_travel` row array of the
+/// versions experiment), whose *nested* timing leaves must still be
+/// scrubbed. Every other field is untouched.
 ///
 /// This is the single source of truth for snapshot normalization: the
 /// golden tests, the differential runner, and the CI drift check all call
@@ -422,14 +579,17 @@ pub fn scrub_timings(value: &mut serde_json::Value) {
                         serde_json::Value::Number(n) => {
                             *n = serde_json::Number::PosInt(0);
                         }
-                        serde_json::Value::Object(duration) => {
+                        serde_json::Value::Object(duration)
+                            if duration.get("secs").is_some()
+                                && duration.get("nanos").is_some() =>
+                        {
                             for field in ["secs", "nanos"] {
                                 if let Some(v) = duration.get_mut(field) {
                                     *v = serde_json::Value::Number(serde_json::Number::PosInt(0));
                                 }
                             }
                         }
-                        _ => {}
+                        other => scrub_timings(other),
                     }
                 } else {
                     scrub_timings(entry);

@@ -788,7 +788,8 @@ impl Store {
 
     /// Atomic replace: write to a sibling temp file, rename over the
     /// target, and sync the parent directory so the rename is durable.
-    fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    /// Shared with `receipt::version` for `versions.meta` rewrites.
+    pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
         let tmp = path.with_extension("tmp");
         let inner = |p: &Path| -> io::Result<()> {
             let mut f = File::create(p)?;
