@@ -55,6 +55,8 @@
 //! one full text run; `tests/golden/repro_smoke.json` pins the
 //! timing-and-scheduler-scrubbed smoke document.
 
+#![forbid(unsafe_code)]
+
 use bigraph::Side;
 use receipt::{hierarchy, Config};
 use receipt_bench::report::ReproReport;

@@ -1,5 +1,7 @@
 //! Shared plumbing for the experiment harness (see `src/bin/repro.rs` and
 //! the criterion benches under `benches/`).
 
+#![forbid(unsafe_code)]
+
 pub mod report;
 pub mod runner;

@@ -414,11 +414,11 @@ pub fn read_binary_graph<R: Read>(r: &mut R) -> Result<BinaryGraph, BinError> {
             computed: computed_header,
         });
     }
-    if expected_len(num_u, num_v, num_edges).is_none() {
+    let Some(expected_total) = expected_len(num_u, num_v, num_edges) else {
         return Err(BinError::Invalid {
             what: "section sizes overflow".to_string(),
         });
-    }
+    };
     // Ids must fit the id type and counts must fit memory indices.
     if num_v > u64::from(VertexId::MAX) || num_u > u64::from(VertexId::MAX) {
         return Err(BinError::Invalid {
@@ -434,8 +434,8 @@ pub fn read_binary_graph<R: Read>(r: &mut R) -> Result<BinaryGraph, BinError> {
     let mut probe = [0u8; 1];
     if r.read(&mut probe)? != 0 {
         return Err(BinError::WrongLength {
-            expected: expected_len(num_u, num_v, num_edges).unwrap(),
-            found: expected_len(num_u, num_v, num_edges).unwrap() + 1,
+            expected: expected_total,
+            found: expected_total + 1,
         });
     }
     let computed_body = body.finish();
@@ -497,9 +497,15 @@ pub fn read_binary_graph_path<P: AsRef<Path>>(path: P) -> Result<BinaryGraph, Bi
         let mut r = BufReader::new(file);
         let mut header = [0u8; HEADER_LEN as usize];
         r.read_exact(&mut header)?;
-        let num_u = u64::from_le_bytes(header[16..24].try_into().unwrap());
-        let num_v = u64::from_le_bytes(header[24..32].try_into().unwrap());
-        let num_edges = u64::from_le_bytes(header[32..40].try_into().unwrap());
+        // The header buffer is fixed-length, so these reads are always in
+        // range; the fail-closed helpers keep even an impossible short
+        // read an error rather than a panic.
+        let short = |pos: usize| BinError::Invalid {
+            what: format!("truncated header read at offset {pos}"),
+        };
+        let num_u = crate::bytes::le_u64_at(&header, 16).ok_or_else(|| short(16))?;
+        let num_v = crate::bytes::le_u64_at(&header, 24).ok_or_else(|| short(24))?;
+        let num_edges = crate::bytes::le_u64_at(&header, 32).ok_or_else(|| short(32))?;
         if header[..8] == MAGIC {
             if let Some(expected) = expected_len(num_u, num_v, num_edges) {
                 if expected != actual_len {

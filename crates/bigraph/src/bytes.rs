@@ -1,0 +1,49 @@
+//! Fail-closed little-endian reads for the durable formats.
+//!
+//! Every decode in the durable modules (`bigraph::binfmt`,
+//! `receipt::wal`, `receipt::version`) must surface a short or torn
+//! input as a typed error, never a panic (FORMATS.md §2). These helpers
+//! make the fallible read the only ergonomic option: they return `None`
+//! on any out-of-range access — including offset overflow — and the
+//! caller maps that into its module's corruption error.
+
+/// Copies `N` bytes at `pos`, or `None` if the slice is too short (or
+/// `pos + N` overflows).
+pub fn array_at<const N: usize>(bytes: &[u8], pos: usize) -> Option<[u8; N]> {
+    let chunk = bytes.get(pos..pos.checked_add(N)?)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(chunk);
+    Some(out)
+}
+
+/// Little-endian `u32` at `pos`, or `None` past the end.
+pub fn le_u32_at(bytes: &[u8], pos: usize) -> Option<u32> {
+    array_at(bytes, pos).map(u32::from_le_bytes)
+}
+
+/// Little-endian `u64` at `pos`, or `None` past the end.
+pub fn le_u64_at(bytes: &[u8], pos: usize) -> Option<u64> {
+    array_at(bytes, pos).map(u64::from_le_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_in_range() {
+        let b = 0x1122_3344_5566_7788u64.to_le_bytes();
+        assert_eq!(le_u64_at(&b, 0), Some(0x1122_3344_5566_7788));
+        assert_eq!(le_u32_at(&b, 4), Some(0x1122_3344));
+        assert_eq!(array_at::<2>(&b, 6), Some([0x22, 0x11]));
+    }
+
+    #[test]
+    fn short_reads_fail_closed() {
+        let b = [1u8, 2, 3];
+        assert_eq!(le_u32_at(&b, 0), None);
+        assert_eq!(le_u32_at(&b, 3), None);
+        assert_eq!(le_u64_at(&[], 0), None);
+        assert_eq!(array_at::<1>(&b, usize::MAX), None);
+    }
+}

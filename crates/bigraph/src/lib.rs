@@ -26,13 +26,18 @@
 //! * [`io`] — KONECT-style whitespace edge-list reader/writer.
 //! * [`binfmt`] — the checksummed fixed-width binary graph image
 //!   (`.bgr`) specified in `FORMATS.md` §1.
+//! * [`bytes`] — fail-closed little-endian reads shared by every durable
+//!   decoder (`FORMATS.md` §2: corrupt input errors, never panics).
 //! * [`mod@derive`] — set-algebraic union/difference over whole graphs
 //!   (`VERSIONING.md` §6), the non-induced half of `tipdecomp derive`.
 //! * [`stats`] — wedge counts and the peel/re-count cost model behind the
 //!   HUC optimization (§4.1).
 
+#![forbid(unsafe_code)]
+
 pub mod binfmt;
 pub mod builder;
+pub mod bytes;
 pub mod compact;
 pub mod csr;
 pub mod datasets;

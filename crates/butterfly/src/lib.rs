@@ -20,6 +20,8 @@
 //!   galloping search, hub bitset) and the degree-ratio heuristic that
 //!   picks between them in the wedge loops.
 
+#![forbid(unsafe_code)]
+
 pub mod approx;
 pub mod count;
 pub mod dynamic;

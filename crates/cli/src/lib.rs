@@ -3,6 +3,8 @@
 //! Lives in a library so the argument parsing and command execution are
 //! unit-testable; `main.rs` is a thin shim.
 
+#![forbid(unsafe_code)]
+
 use bigraph::{BipartiteCsr, Side};
 use receipt::engine::{EngineOptions, StreamEngine};
 use receipt::report::{ServeResponse, ServeSessionReport, ServeStats, TopKEntry};

@@ -3,6 +3,8 @@
 //! Exit codes: 0 on success, 2 for argument-parse errors (usage printed),
 //! 1 for run errors (message names the failing subcommand).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match receipt_cli::parse(&args) {

@@ -41,6 +41,8 @@
 //! assert!(*theta_max >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bucket;
 pub mod bup;
 pub mod cd;
@@ -56,6 +58,7 @@ pub mod parb;
 pub mod peel;
 pub mod queue;
 pub mod report;
+pub mod snapshot;
 pub mod support;
 pub mod version;
 pub mod wal;

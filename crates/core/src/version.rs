@@ -25,6 +25,7 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use bigraph::bytes::{array_at, le_u32_at, le_u64_at};
 use bigraph::dynamic::EdgeOp;
 
 use crate::dynamic::fnv1a_u64;
@@ -226,12 +227,19 @@ fn encode(entries: &[VersionRef]) -> Vec<u8> {
         // Zero-pad the name to the next u64 word boundary (§2.2).
         buf.resize(buf.len().div_ceil(8) * 8, 0);
     }
-    let words: Vec<u64> = buf
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let words = words_of(&buf);
     buf.extend_from_slice(&fnv1a_u64(&words).to_le_bytes());
     buf
+}
+
+/// The §2.3 word view: every aligned little-endian u64 of `bytes`. A
+/// trailing partial chunk (impossible for the length-checked callers)
+/// is simply not a word.
+fn words_of(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| le_u64_at(c, 0).unwrap_or(0))
+        .collect()
 }
 
 /// Decodes and fully validates a `versions.meta` image in the §2.4
@@ -248,21 +256,24 @@ fn decode(path: &Path, bytes: &[u8]) -> Result<Vec<VersionRef>, VersionError> {
             bytes.len()
         )));
     }
-    let magic: [u8; 8] = bytes[..8].try_into().unwrap();
+    // Length is checked above, so these reads are in range; the
+    // fail-closed helpers keep even an impossible short read an error.
+    let short = |pos: usize| corrupt(format!("truncated read at offset {pos}"));
+    let magic: [u8; 8] = array_at(bytes, 0).ok_or_else(|| short(0))?;
     if magic != VER_MAGIC {
         return Err(VersionError::BadMagic {
             path: display(),
             found: magic,
         });
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = le_u32_at(bytes, 8).ok_or_else(|| short(8))?;
     if version != VER_VERSION {
         return Err(VersionError::BadVersion {
             path: display(),
             found: version,
         });
     }
-    let endian = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let endian = le_u32_at(bytes, 12).ok_or_else(|| short(12))?;
     if endian != VER_ENDIAN_TAG {
         return Err(VersionError::BadEndianness {
             path: display(),
@@ -272,12 +283,8 @@ fn decode(path: &Path, bytes: &[u8]) -> Result<Vec<VersionRef>, VersionError> {
     // Trailer checksum over every preceding word (§2.3), before any
     // structural field is trusted.
     let body = &bytes[..bytes.len() - 8];
-    let words: Vec<u64> = body
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
-    let computed = fnv1a_u64(&words);
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let computed = fnv1a_u64(&words_of(body));
+    let stored = le_u64_at(bytes, bytes.len() - 8).ok_or_else(|| short(bytes.len() - 8))?;
     if stored != computed {
         return Err(VersionError::MetaChecksum {
             path: display(),
@@ -286,18 +293,20 @@ fn decode(path: &Path, bytes: &[u8]) -> Result<Vec<VersionRef>, VersionError> {
         });
     }
     // Structure (§2.4).
-    let count = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let count = le_u64_at(bytes, 16).ok_or_else(|| short(16))?;
     let mut entries = Vec::new();
     let mut at = VER_HEADER_LEN as usize;
     for i in 0..count {
         if body.len() < at + 40 {
             return Err(corrupt(format!("entry {i} truncated at byte {at}")));
         }
-        let word =
-            |k: usize| u64::from_le_bytes(body[at + 8 * k..at + 8 * (k + 1)].try_into().unwrap());
-        let (lsn, total_butterflies) = (word(0), word(1));
-        let (tip_checksum_u, tip_checksum_v) = (word(2), word(3));
-        let name_len = word(4) as usize;
+        let word = |k: usize| {
+            le_u64_at(body, at + 8 * k)
+                .ok_or_else(|| corrupt(format!("entry {i} truncated at byte {}", at + 8 * k)))
+        };
+        let (lsn, total_butterflies) = (word(0)?, word(1)?);
+        let (tip_checksum_u, tip_checksum_v) = (word(2)?, word(3)?);
+        let name_len = word(4)? as usize;
         if name_len == 0 || name_len > VER_MAX_NAME_LEN {
             return Err(corrupt(format!(
                 "entry {i}: name length {name_len} outside 1..=255"
@@ -446,7 +455,10 @@ impl VersionStore {
         });
         let bytes = encode(&self.entries);
         Store::write_atomic(&Self::versions_path(&self.dir), &bytes)?;
-        Ok(self.entries.last().unwrap())
+        self.entries.last().ok_or_else(|| VersionError::Corrupt {
+            path: Self::versions_path(&self.dir).display().to_string(),
+            what: "version list empty immediately after tagging".to_string(),
+        })
     }
 
     /// Convenience form of [`Self::tag`] reading the checksums off a

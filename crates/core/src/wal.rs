@@ -34,6 +34,7 @@
 
 use crate::dynamic::fnv1a_u64;
 use bigraph::binfmt::{self, BinError};
+use bigraph::bytes::{array_at, le_u32_at, le_u64_at};
 use bigraph::dynamic::EdgeOp;
 use bigraph::BipartiteCsr;
 use std::fmt;
@@ -250,20 +251,29 @@ fn walk(path: &Path) -> Result<Walk, WalError> {
             format!("WAL shorter than its {WAL_HEADER_LEN}-byte header ({file_len} bytes)"),
         )));
     }
-    let magic: [u8; 8] = bytes[..8].try_into().unwrap();
+    // The length checks above (and the per-record prefix checks below)
+    // make every read in range, but the decodes still go through the
+    // fail-closed helpers: a short read is an error, never a panic.
+    let truncated = |pos: usize, n: usize| {
+        WalError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("WAL truncated: cannot read {n} bytes at offset {pos}"),
+        ))
+    };
+    let magic: [u8; 8] = array_at(&bytes, 0).ok_or_else(|| truncated(0, 8))?;
     if magic != WAL_MAGIC {
         return Err(WalError::BadMagic { found: magic });
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = le_u32_at(&bytes, 8).ok_or_else(|| truncated(8, 4))?;
     if version != WAL_VERSION {
         return Err(WalError::BadVersion { found: version });
     }
-    let endian = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let endian = le_u32_at(&bytes, 12).ok_or_else(|| truncated(12, 4))?;
     if endian != ENDIAN_TAG {
         return Err(WalError::BadEndianness { found: endian });
     }
-    let base_lsn = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-    let stored = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let base_lsn = le_u64_at(&bytes, 16).ok_or_else(|| truncated(16, 8))?;
+    let stored = le_u64_at(&bytes, 24).ok_or_else(|| truncated(24, 8))?;
     let computed = header_checksum(base_lsn);
     if stored != computed {
         return Err(WalError::HeaderChecksum { stored, computed });
@@ -283,8 +293,8 @@ fn walk(path: &Path) -> Result<Walk, WalError> {
             torn_at = Some(pos as u64);
             break;
         }
-        let lsn = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-        let op_count = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
+        let lsn = le_u64_at(&bytes, pos).ok_or_else(|| truncated(pos, 8))?;
+        let op_count = le_u32_at(&bytes, pos + 8).ok_or_else(|| truncated(pos + 8, 4))?;
         let record_len = 16 + 12 * op_count as usize + 8;
         if bytes.len() - pos < record_len {
             torn_at = Some(pos as u64);
@@ -293,13 +303,13 @@ fn walk(path: &Path) -> Result<Walk, WalError> {
         let mut raw = Vec::with_capacity(op_count as usize);
         let mut p = pos + 16;
         for _ in 0..op_count {
-            let kind = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap());
-            let u = u32::from_le_bytes(bytes[p + 4..p + 8].try_into().unwrap());
-            let v = u32::from_le_bytes(bytes[p + 8..p + 12].try_into().unwrap());
+            let kind = le_u32_at(&bytes, p).ok_or_else(|| truncated(p, 4))?;
+            let u = le_u32_at(&bytes, p + 4).ok_or_else(|| truncated(p + 4, 4))?;
+            let v = le_u32_at(&bytes, p + 8).ok_or_else(|| truncated(p + 8, 4))?;
             raw.push((kind, u, v));
             p += 12;
         }
-        let stored_ck = u64::from_le_bytes(bytes[p..p + 8].try_into().unwrap());
+        let stored_ck = le_u64_at(&bytes, p).ok_or_else(|| truncated(p, 8))?;
         let computed_ck = record_checksum(lsn, &raw);
         if stored_ck != computed_ck {
             // A complete-length record with a bad checksum is corruption
@@ -700,19 +710,22 @@ fn decode_meta(path: &Path, bytes: &[u8]) -> Result<CheckpointMeta, StoreError> 
     if bytes[..8] != CKP_MAGIC {
         return Err(fail(format!("bad magic {:02x?}", &bytes[..8])));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    // Length is pinned to CKP_LEN above; the fail-closed reads keep even
+    // an impossible short read an error rather than a panic.
+    let short = |pos: usize| fail(format!("truncated read at offset {pos}"));
+    let version = le_u32_at(bytes, 8).ok_or_else(|| short(8))?;
     if version != CKP_VERSION {
         return Err(fail(format!(
             "unsupported version {version} (expected {CKP_VERSION})"
         )));
     }
-    let endian = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let endian = le_u32_at(bytes, 12).ok_or_else(|| short(12))?;
     if endian != ENDIAN_TAG {
         return Err(fail(format!("bad endianness tag {endian:#010x}")));
     }
-    let lsn = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-    let graph_checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
-    let stored = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+    let lsn = le_u64_at(bytes, 16).ok_or_else(|| short(16))?;
+    let graph_checksum = le_u64_at(bytes, 24).ok_or_else(|| short(24))?;
+    let stored = le_u64_at(bytes, 32).ok_or_else(|| short(32))?;
     let computed = meta_checksum(lsn, graph_checksum);
     if stored != computed {
         return Err(fail(format!(

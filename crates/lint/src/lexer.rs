@@ -1,0 +1,407 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `receipt-lint`'s rules are token-level, so the lexer's one job is to
+//! classify source bytes well enough that rules never match inside a
+//! string literal or a comment, and always see comments as first-class
+//! tokens (the SAFETY/ordering rules read them). It handles the full
+//! literal grammar the workspace actually uses: escaped string and char
+//! literals, byte strings, raw strings with `#` fences, raw identifiers,
+//! lifetimes vs char literals, nested block comments, and numeric
+//! literals with type suffixes. It does not build a syntax tree — rules
+//! pattern-match on the flat token stream plus per-line classifications
+//! (see [`crate::source`]).
+//!
+//! Offline discipline: like the vendored shims, this is plain `std` —
+//! no proc-macro, no external parser crate.
+
+/// What a [`Token`] is. Keywords are `Ident`s; rules compare text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Numeric literal, including suffix (`1_000u64`, `0x2F`, `1.5e-3`).
+    Number,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// Lifetime: `'a` (no closing quote).
+    Lifetime,
+    /// A single punctuation byte; multi-byte operators arrive as runs.
+    Punct,
+    /// `// …` to end of line (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, nesting tracked.
+    BlockComment,
+}
+
+/// One lexed token: classification plus byte span and 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Byte offsets where each line starts (index 0 = line 1).
+pub fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Lexes `text` into tokens. Unterminated literals and comments are
+/// tolerated (the token runs to end of input) — the linter must keep
+/// walking a tree even if one file is mid-edit broken.
+pub fn lex(text: &str) -> Vec<Token> {
+    let b = text.as_bytes();
+    let n = b.len();
+    let starts = line_starts(text);
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut i = 0usize;
+    let push = |tokens: &mut Vec<Token>, kind: TokenKind, start: usize, end: usize| {
+        // line via binary search: last line start <= start.
+        let line_idx = starts.partition_point(|&s| s <= start) - 1;
+        tokens.push(Token {
+            kind,
+            start,
+            end,
+            line: line_idx as u32 + 1,
+            col: (start - starts[line_idx]) as u32 + 1,
+        });
+    };
+    while i < n {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Comments.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            push(&mut tokens, TokenKind::LineComment, start, i);
+            continue;
+        }
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            push(&mut tokens, TokenKind::BlockComment, start, i);
+            continue;
+        }
+        // Raw strings, byte strings, raw identifiers. Check before plain
+        // identifiers so `r#"…"#` is not read as `r` `#` `"…`.
+        if is_ident_start(c) {
+            let (is_raw_str, prefix_len) = raw_string_prefix(&b[i..]);
+            if is_raw_str {
+                i += prefix_len; // past r/br and the #s, at the opening quote
+                let fence = prefix_len - raw_prefix_letters(&b[start..]);
+                i += 1; // opening quote
+                while i < n {
+                    if b[i] == b'"'
+                        && i + fence < n
+                        && b[i + 1..=i + fence].iter().all(|&h| h == b'#')
+                    {
+                        i += 1 + fence;
+                        break;
+                    }
+                    i += 1;
+                }
+                push(&mut tokens, TokenKind::Str, start, i);
+                continue;
+            }
+            if c == b'b' && i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'\'') {
+                let quote = b[i + 1];
+                i += 1;
+                i = lex_quoted(b, i, quote);
+                let kind = if quote == b'"' {
+                    TokenKind::Str
+                } else {
+                    TokenKind::Char
+                };
+                push(&mut tokens, kind, start, i);
+                continue;
+            }
+            if c == b'r' && i + 2 < n && b[i + 1] == b'#' && is_ident_start(b[i + 2]) {
+                i += 2; // raw identifier `r#type`
+            }
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            push(&mut tokens, TokenKind::Ident, start, i);
+            continue;
+        }
+        if c == b'"' {
+            i = lex_quoted(b, i, b'"');
+            push(&mut tokens, TokenKind::Str, start, i);
+            continue;
+        }
+        if c == b'\'' {
+            // Lifetime iff an ident follows and no closing quote comes
+            // right after it (`'a` vs `'a'`).
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j >= n || b[j] != b'\'' {
+                    i = j;
+                    push(&mut tokens, TokenKind::Lifetime, start, i);
+                    continue;
+                }
+            }
+            i = lex_quoted(b, i, b'\'');
+            push(&mut tokens, TokenKind::Char, start, i);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            i = lex_number(b, i);
+            push(&mut tokens, TokenKind::Number, start, i);
+            continue;
+        }
+        i += 1;
+        push(&mut tokens, TokenKind::Punct, start, i);
+    }
+    tokens
+}
+
+/// Length of the `r`/`b` letters in a raw-string prefix at `b[0..]`.
+fn raw_prefix_letters(b: &[u8]) -> usize {
+    match b {
+        [b'b', b'r', ..] => 2,
+        [b'r', ..] => 1,
+        _ => 0,
+    }
+}
+
+/// Does `b` open a raw (byte) string? Returns `(true, len)` with `len`
+/// the bytes up to (not including) the opening quote.
+fn raw_string_prefix(b: &[u8]) -> (bool, usize) {
+    let letters = match b {
+        [b'b', b'r', rest @ ..] if !rest.is_empty() => 2,
+        [b'r', rest @ ..] if !rest.is_empty() => 1,
+        _ => return (false, 0),
+    };
+    let mut j = letters;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        (true, j)
+    } else {
+        (false, 0)
+    }
+}
+
+/// Advances past a quoted literal starting at the opening quote `b[i] ==
+/// quote`, honoring backslash escapes. Returns the index one past the
+/// closing quote (or end of input if unterminated).
+fn lex_quoted(b: &[u8], i: usize, quote: u8) -> usize {
+    let mut i = i + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Advances past a numeric literal starting at a digit.
+fn lex_number(b: &[u8], i: usize) -> usize {
+    let mut i = i;
+    if b[i] == b'0'
+        && i + 1 < b.len()
+        && matches!(b[i + 1], b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+    {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_hexdigit() || b[i] == b'_') {
+            i += 1;
+        }
+    } else {
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+        // Fractional part — but never eat a `..` range operator or a
+        // method call on a literal (`1.max(2)`).
+        if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+        // Exponent.
+        if i < b.len() && matches!(b[i], b'e' | b'E') {
+            let mut j = i + 1;
+            if j < b.len() && matches!(b[j], b'+' | b'-') {
+                j += 1;
+            }
+            if j < b.len() && b[j].is_ascii_digit() {
+                i = j;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`).
+    while i < b.len() && is_ident_cont(b[i]) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, src[t.start..t.end].to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        let toks = kinds("unsafe fn f(x: &mut T) -> u32 {}");
+        assert_eq!(toks[0], (TokenKind::Ident, "unsafe".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".into()));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Punct && t.1 == "&"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "unsafe // not a comment \" still";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("not a comment"));
+        assert!(!toks.iter().any(|t| t.0 == TokenKind::LineComment));
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let a = r#\"has \"quotes\" and \\ backslash\"#; let b = r\"plain\";";
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].1.starts_with("r#\""));
+        assert!(strs[0].1.ends_with("\"#"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let m = b"RCPTBGR\0"; let c = b'\n';"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Str && t.1.starts_with("b\"")));
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Char && t.1.starts_with("b'")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.1 == "'a"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let q = '\''; let u = '\u{1F980}';");
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, r"'\''");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.ends_with("outer */"));
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline() {
+        let src = "x // SAFETY: fine\ny";
+        let toks = kinds(src);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "y".into()));
+        let raw = lex(src);
+        assert_eq!((raw[2].line, raw[2].col), (2, 1));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("0x2F_u32 1_000usize 1.5e-3 0..10");
+        assert_eq!(toks[0], (TokenKind::Number, "0x2F_u32".into()));
+        assert_eq!(toks[1], (TokenKind::Number, "1_000usize".into()));
+        assert_eq!(toks[2], (TokenKind::Number, "1.5e-3".into()));
+        // `0..10` must lex as number, two dots, number.
+        assert_eq!(toks[3], (TokenKind::Number, "0".into()));
+        assert_eq!(toks[4].0, TokenKind::Punct);
+        assert_eq!(toks[5].0, TokenKind::Punct);
+        assert_eq!(toks[6], (TokenKind::Number, "10".into()));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "r#type"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_is_tolerated() {
+        let toks = kinds("let s = \"never closed");
+        assert_eq!(toks.last().map(|t| t.0), Some(TokenKind::Str));
+    }
+}

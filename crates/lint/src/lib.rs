@@ -1,0 +1,36 @@
+//! `receipt-lint`: workspace-native static analysis.
+//!
+//! Five rules encode the repository's load-bearing contracts — SAFETY
+//! comments on `unsafe`, fail-closed durable modules, justified atomic
+//! orderings, a lock-free snapshot read path, and schema-versioned
+//! report documents. See `crates/lint/src/config.rs` for the scoping
+//! and README.md § "Static analysis" for the user-facing story.
+//!
+//! The pipeline: [`source::load_workspace`] walks the tree and lexes
+//! every `.rs` file ([`lexer`]), [`rules::run_rules`] produces raw
+//! findings, [`suppress::apply`] honours `// lint: allow(…) -- why`
+//! comments (emitting meta findings for unjustified or unknown ones),
+//! and [`report::LintReport`] is the schema-versioned JSON document.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+
+use std::io;
+use std::path::Path;
+
+use report::LintReport;
+
+/// Lints the workspace rooted at `root`: loads every `.rs` file, runs
+/// all rules, applies suppressions, and returns the report.
+pub fn run_lint(root: &Path) -> io::Result<LintReport> {
+    let files = source::load_workspace(root)?;
+    let raw = rules::run_rules(&files);
+    let (findings, suppressed) = suppress::apply(&files, raw);
+    Ok(LintReport::new(files.len() as u64, &findings, suppressed))
+}

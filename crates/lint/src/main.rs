@@ -1,0 +1,116 @@
+//! `receipt-lint` — lint the workspace's load-bearing contracts.
+//!
+//! Usage: `receipt-lint [ROOT] [--json] [--out FILE]`
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use receipt_lint::report::LintReport;
+
+const USAGE: &str = "usage: receipt-lint [ROOT] [--json] [--out FILE]
+  ROOT        directory to scan (default: current directory)
+  --json      emit the schema-versioned LintReport JSON instead of text
+  --out FILE  write the output to FILE instead of stdout
+exit codes: 0 clean, 1 findings, 2 usage/io error";
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--out" => {
+                let v = it.next().ok_or("--out requires a path")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path => {
+                if root.is_some() {
+                    return Err(format!("unexpected extra argument `{path}`"));
+                }
+                root = Some(PathBuf::from(path));
+            }
+        }
+    }
+    Ok(Args {
+        root: root.unwrap_or_else(|| PathBuf::from(".")),
+        json,
+        out,
+    })
+}
+
+fn render_text(report: &LintReport) -> String {
+    let mut s = String::new();
+    for f in &report.findings {
+        s.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            f.path, f.line, f.col, f.rule, f.message
+        ));
+        if !f.excerpt.is_empty() {
+            s.push_str(&format!("    {}\n", f.excerpt));
+            let caret_pad = " ".repeat(3 + f.col as usize);
+            s.push_str(&format!("{caret_pad}^\n"));
+        }
+    }
+    s.push_str(&format!(
+        "{} file(s) scanned, {} finding(s), {} suppressed\n",
+        report.files_scanned, report.findings_total, report.suppressed_total
+    ));
+    s
+}
+
+fn run(args: &Args) -> Result<u8, String> {
+    let report = receipt_lint::run_lint(&args.root)
+        .map_err(|e| format!("scanning {}: {e}", args.root.display()))?;
+    let output = if args.json {
+        let mut json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serializing report: {e}"))?;
+        json.push('\n');
+        json
+    } else {
+        render_text(&report)
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &output).map_err(|e| format!("writing {}: {e}", path.display()))?
+        }
+        None => print!("{output}"),
+    }
+    Ok(if report.findings_total == 0 { 0 } else { 1 })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("receipt-lint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            eprintln!("receipt-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The machine-readable lint report (`--json`), schema-versioned like
+//! every other document this workspace emits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rules::Finding;
+
+/// Bump when the JSON shape changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Top-level document for `receipt-lint --json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    pub schema_version: u32,
+    pub kind: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u64,
+    /// The rule set that ran, in execution order.
+    pub rules: Vec<String>,
+    /// Surviving findings (rule + meta), sorted by (path, line, col).
+    pub findings_total: u64,
+    /// Findings silenced by inline suppressions.
+    pub suppressed_total: u64,
+    pub findings: Vec<FindingRow>,
+}
+
+/// One finding. Versioned via the `LintReport` parent (see the
+/// `VERSIONED_CHILDREN` manifest — this struct is its own dogfood).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FindingRow {
+    pub rule: String,
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    pub excerpt: String,
+}
+
+impl LintReport {
+    pub fn new(files_scanned: u64, findings: &[Finding], suppressed_total: u64) -> LintReport {
+        LintReport {
+            schema_version: SCHEMA_VERSION,
+            kind: "lint-report".to_string(),
+            files_scanned,
+            rules: crate::config::RULE_IDS
+                .iter()
+                .map(|r| r.to_string())
+                .collect(),
+            findings_total: findings.len() as u64,
+            suppressed_total,
+            findings: findings
+                .iter()
+                .map(|f| FindingRow {
+                    rule: f.rule.to_string(),
+                    path: f.path.clone(),
+                    line: f.line,
+                    col: f.col,
+                    message: f.message.clone(),
+                    excerpt: f.excerpt.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let f = Finding {
+            rule: crate::config::RULE_UNSAFE_NEEDS_SAFETY,
+            path: "src/a.rs".to_string(),
+            line: 3,
+            col: 5,
+            message: "m".to_string(),
+            excerpt: "    unsafe {".to_string(),
+        };
+        let report = LintReport::new(7, &[f], 2);
+        let json = serde_json::to_string_pretty(&report).expect("serialize");
+        let back: LintReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, report);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.kind, "lint-report");
+        assert_eq!(back.findings_total, 1);
+        assert_eq!(back.suppressed_total, 2);
+    }
+}

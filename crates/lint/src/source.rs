@@ -1,0 +1,487 @@
+//! Scanned-file model: tokens plus the per-line and per-region
+//! classifications every rule leans on.
+//!
+//! * **Line kinds** — each source line is `Blank`, `Comment` (nothing but
+//!   comment text), `Attr` (starts an attribute), or `Code`. The
+//!   SAFETY/ordering rules walk contiguous `Comment` runs upward from a
+//!   flagged line, skipping `Attr` lines, exactly like a human reader
+//!   associating a comment with the item below it.
+//! * **Test regions** — byte ranges covered by a `#[cfg(test)]` item
+//!   (almost always `mod tests { … }`). Rules that police production
+//!   code only (`no-panic-in-durable`, `atomic-ordering-justified`)
+//!   skip findings inside them; `unsafe-needs-safety` deliberately does
+//!   not — an unsound test is still unsound.
+
+use crate::lexer::{lex, line_starts, Token, TokenKind};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How a whole source line classifies (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineKind {
+    Blank,
+    Comment,
+    Attr,
+    Code,
+}
+
+/// One lexed file plus derived indexes, ready for rules.
+pub struct SourceFile {
+    /// Path relative to the scan root, forward-slash separated — this is
+    /// what diagnostics and the JSON report print, so reports are stable
+    /// across machines.
+    pub rel_path: String,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    /// Byte offset where each line starts; index 0 = line 1.
+    pub line_starts: Vec<usize>,
+    /// Classification per line; index 0 = line 1.
+    pub line_kinds: Vec<LineKind>,
+    /// Concatenated comment text per line (both `//…` bodies and the
+    /// per-line slices of block comments); empty for comment-free lines.
+    pub line_comments: Vec<String>,
+    /// Byte ranges under `#[cfg(test)]`.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: String, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let line_starts = line_starts(&text);
+        let num_lines = line_starts.len();
+        let mut has_code = vec![false; num_lines];
+        let mut line_comments = vec![String::new(); num_lines];
+        let mut first_code_token: Vec<Option<usize>> = vec![None; num_lines];
+        for (idx, t) in tokens.iter().enumerate() {
+            let first_line = t.line as usize - 1;
+            let last_line = line_index(&line_starts, t.end.saturating_sub(1).max(t.start));
+            match t.kind {
+                TokenKind::LineComment | TokenKind::BlockComment => {
+                    // Credit each covered line with its slice of the text.
+                    for line in first_line..=last_line {
+                        let lo = t.start.max(line_starts[line]);
+                        let hi = t.end.min(end_of_line(&text, &line_starts, line));
+                        if lo < hi {
+                            line_comments[line].push_str(&text[lo..hi]);
+                            line_comments[line].push(' ');
+                        }
+                    }
+                }
+                _ => {
+                    for covered in has_code[first_line..=last_line].iter_mut() {
+                        *covered = true;
+                    }
+                    if first_code_token[first_line].is_none() {
+                        first_code_token[first_line] = Some(idx);
+                    }
+                }
+            }
+        }
+        let mut line_kinds = Vec::with_capacity(num_lines);
+        for line in 0..num_lines {
+            let kind = if has_code[line] {
+                match first_code_token[line] {
+                    // `#[…]` or `#![…]` opens an attribute.
+                    Some(idx)
+                        if token_text(&text, &tokens, idx) == "#"
+                            && matches!(
+                                token_text_opt(&text, &tokens, idx + 1),
+                                Some("[") | Some("!")
+                            ) =>
+                    {
+                        LineKind::Attr
+                    }
+                    // A line that only *continues* a multi-line token or
+                    // expression is still code.
+                    _ => LineKind::Code,
+                }
+            } else if !line_comments[line].is_empty() {
+                LineKind::Comment
+            } else {
+                LineKind::Blank
+            };
+            line_kinds.push(kind);
+        }
+        let test_regions = find_test_regions(&text, &tokens);
+        SourceFile {
+            rel_path,
+            text,
+            tokens,
+            line_starts,
+            line_kinds,
+            line_comments,
+            test_regions,
+        }
+    }
+
+    /// The text of one 1-based line, without its newline.
+    pub fn line_text(&self, line: u32) -> &str {
+        let idx = line as usize - 1;
+        let lo = self.line_starts[idx];
+        let hi = end_of_line(&self.text, &self.line_starts, idx);
+        &self.text[lo..hi]
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Is the byte offset inside a `#[cfg(test)]` region?
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| lo <= offset && offset < hi)
+    }
+
+    /// Text of token `idx`.
+    pub fn token_text(&self, idx: usize) -> &str {
+        token_text(&self.text, &self.tokens, idx)
+    }
+
+    /// Index of the previous non-comment token before `idx`.
+    pub fn prev_code_token(&self, idx: usize) -> Option<usize> {
+        self.tokens[..idx]
+            .iter()
+            .rposition(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+
+    /// Index of the next non-comment token after `idx`.
+    pub fn next_code_token(&self, idx: usize) -> Option<usize> {
+        self.tokens[idx + 1..]
+            .iter()
+            .position(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|off| idx + 1 + off)
+    }
+
+    /// The comment block a reader would associate with 1-based `line`:
+    /// the contiguous run of `Comment` lines directly above it, with
+    /// `Attr` lines transparently skipped (doc comments sit above
+    /// attributes). Returns the concatenated comment text, or an empty
+    /// string if a blank or code line intervenes first.
+    pub fn comment_block_above(&self, line: u32) -> String {
+        let mut out = String::new();
+        let mut idx = line as usize - 1; // 0-based index of the flagged line
+        while idx > 0 {
+            idx -= 1;
+            match self.line_kinds[idx] {
+                LineKind::Attr => continue,
+                LineKind::Comment => {
+                    out.push_str(&self.line_comments[idx]);
+                    out.push(' ');
+                }
+                LineKind::Blank | LineKind::Code => break,
+            }
+        }
+        out
+    }
+
+    /// Comment text appearing on `line` itself (e.g. a trailing
+    /// `// ordering: …` justification).
+    pub fn comment_on_line(&self, line: u32) -> &str {
+        &self.line_comments[line as usize - 1]
+    }
+
+    /// Every comment a reader would accept as justifying `line`: its own
+    /// trailing comment, comments gathered while walking up through the
+    /// enclosing statement's continuation lines (a line whose predecessor
+    /// does not end in `;`, `{`, or `}` is a continuation — think the
+    /// `compare_exchange` line of a builder chain, or the second closure
+    /// of a `join(…)` call), and finally the comment block directly above
+    /// the statement, with `Attr` lines transparently skipped.
+    pub fn justification_for(&self, line: u32) -> String {
+        let mut out = String::new();
+        out.push_str(self.comment_on_line(line));
+        out.push(' ');
+        let mut idx = line as usize - 1; // 0-based index of the flagged line
+        while idx > 0 {
+            let prev = idx - 1;
+            match self.line_kinds[prev] {
+                LineKind::Attr => idx = prev,
+                LineKind::Comment => {
+                    out.push_str(&self.line_comments[prev]);
+                    out.push(' ');
+                    idx = prev;
+                }
+                LineKind::Code => {
+                    if self.line_ends_statement(prev) {
+                        break;
+                    }
+                    out.push_str(&self.line_comments[prev]);
+                    out.push(' ');
+                    idx = prev;
+                }
+                LineKind::Blank => break,
+            }
+        }
+        out
+    }
+
+    /// Does the 0-based line `idx` end a statement — i.e. is its last
+    /// code token `;`, `{`, or `}`? Lines ending mid-expression (`,`,
+    /// `(`, an operator…) are statement continuations.
+    fn line_ends_statement(&self, idx: usize) -> bool {
+        let target = idx as u32 + 1;
+        let mut last: Option<&str> = None;
+        for (i, t) in self.tokens.iter().enumerate() {
+            if t.line > target {
+                break;
+            }
+            if t.line == target
+                && !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+            {
+                last = Some(self.token_text(i));
+            }
+        }
+        matches!(last, Some(";") | Some("{") | Some("}"))
+    }
+}
+
+fn token_text<'a>(text: &'a str, tokens: &[Token], idx: usize) -> &'a str {
+    let t = &tokens[idx];
+    &text[t.start..t.end]
+}
+
+fn token_text_opt<'a>(text: &'a str, tokens: &[Token], idx: usize) -> Option<&'a str> {
+    tokens.get(idx).map(|t| &text[t.start..t.end])
+}
+
+/// 0-based line index containing byte `offset`.
+fn line_index(line_starts: &[usize], offset: usize) -> usize {
+    line_starts.partition_point(|&s| s <= offset) - 1
+}
+
+/// Byte offset one past the last content byte of 0-based line `idx`
+/// (excludes the newline).
+fn end_of_line(text: &str, line_starts: &[usize], idx: usize) -> usize {
+    let hi = if idx + 1 < line_starts.len() {
+        line_starts[idx + 1]
+    } else {
+        text.len()
+    };
+    // Strip the newline (and a CR before it) from the span.
+    let mut hi = hi;
+    while hi > line_starts[idx] && matches!(text.as_bytes()[hi - 1], b'\n' | b'\r') {
+        hi -= 1;
+    }
+    hi
+}
+
+/// Finds byte ranges of items annotated `#[cfg(test)]`: the attribute's
+/// start through the end of the item it decorates (the matching `}` of
+/// its block, or the terminating `;`). Only the exact `cfg(test)` form is
+/// recognized — that is the only form the workspace uses, and treating
+/// e.g. `cfg(not(test))` as test code would silence rules on production
+/// paths.
+fn find_test_regions(text: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| {
+            !matches!(
+                tokens[i].kind,
+                TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let word = |k: usize| -> &str {
+        let t = &tokens[code[k]];
+        &text[t.start..t.end]
+    };
+    let mut regions = Vec::new();
+    let mut k = 0usize;
+    while k + 6 < code.len() {
+        let is_cfg_test = word(k) == "#"
+            && word(k + 1) == "["
+            && word(k + 2) == "cfg"
+            && word(k + 3) == "("
+            && word(k + 4) == "test"
+            && word(k + 5) == ")"
+            && word(k + 6) == "]";
+        if !is_cfg_test {
+            k += 1;
+            continue;
+        }
+        let region_start = tokens[code[k]].start;
+        // Skip this and any further attributes, then find the item's end:
+        // the matching close of its first brace block, or a `;` before
+        // any brace opens.
+        let mut j = k + 7;
+        while j + 1 < code.len() && word(j) == "#" && word(j + 1) == "[" {
+            // Skip a whole `#[…]` group by bracket depth.
+            let mut depth = 0usize;
+            j += 1;
+            while j < code.len() {
+                match word(j) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let mut depth = 0usize;
+        let mut end = None;
+        while j < code.len() {
+            match word(j) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(tokens[code[j]].end);
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end = Some(tokens[code[j]].end);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = end.unwrap_or(text.len());
+        regions.push((region_start, end));
+        // Continue after the region; nested cfg(test) inside it is moot.
+        while k < code.len() && tokens[code[k]].start < end {
+            k += 1;
+        }
+    }
+    regions
+}
+
+/// Directories never scanned, by component name, anywhere in the tree.
+const SKIP_DIR_NAMES: &[&str] = &["target", ".git", ".github"];
+
+/// Root-relative prefixes never scanned (the deliberately-bad lint
+/// fixtures must not fail the self-check over the real workspace).
+const SKIP_PREFIXES: &[&str] = &["tests/fixtures"];
+
+/// Collects every `.rs` file under `root` in deterministic (sorted
+/// byte-order) walk order, as paths relative to `root`.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, Path::new(""), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(root.join(rel))?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name();
+        let rel_child = rel.join(&name);
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            let name_str = name.to_string_lossy();
+            if SKIP_DIR_NAMES.contains(&name_str.as_ref()) {
+                continue;
+            }
+            let rel_str = rel_path_string(&rel_child);
+            if SKIP_PREFIXES
+                .iter()
+                .any(|p| rel_str == *p || rel_str.starts_with(&format!("{p}/")))
+            {
+                continue;
+            }
+            walk(root, &rel_child, out)?;
+        } else if ty.is_file() && name.to_string_lossy().ends_with(".rs") {
+            out.push(rel_child);
+        }
+    }
+    Ok(())
+}
+
+/// Forward-slash string form of a relative path.
+pub fn rel_path_string(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Reads and parses every source file under `root`.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for rel in collect_files(root)? {
+        let text = fs::read_to_string(root.join(&rel))?;
+        files.push(SourceFile::parse(rel_path_string(&rel), text));
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs".into(), src.to_string())
+    }
+
+    #[test]
+    fn line_kinds_classify() {
+        let f = file("// comment\n\n#[derive(Debug)]\nstruct S;\n");
+        assert_eq!(f.line_kinds[0], LineKind::Comment);
+        assert_eq!(f.line_kinds[1], LineKind::Blank);
+        assert_eq!(f.line_kinds[2], LineKind::Attr);
+        assert_eq!(f.line_kinds[3], LineKind::Code);
+    }
+
+    #[test]
+    fn trailing_comment_is_code_line_with_comment_text() {
+        let f = file("let x = 1; // ordering: why\n");
+        assert_eq!(f.line_kinds[0], LineKind::Code);
+        assert!(f.comment_on_line(1).contains("ordering:"));
+    }
+
+    #[test]
+    fn comment_block_above_skips_attrs_and_stops_at_blank() {
+        let f = file("// SAFETY: sound because reasons\n#[inline]\nunsafe fn f() {}\n\n// unrelated\n\nfn g() {}\n");
+        assert!(f.comment_block_above(3).contains("SAFETY:"));
+        assert_eq!(f.comment_block_above(7), "");
+    }
+
+    #[test]
+    fn block_comment_lines_classify_as_comment() {
+        let f = file("/* multi\n   line\n   SAFETY: here */\nlet x = 1;\n");
+        assert_eq!(f.line_kinds[0], LineKind::Comment);
+        assert_eq!(f.line_kinds[1], LineKind::Comment);
+        assert_eq!(f.line_kinds[2], LineKind::Comment);
+        assert!(f.comment_block_above(4).contains("SAFETY:"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_mod() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = file(src);
+        assert_eq!(f.test_regions.len(), 1);
+        let prod_off = src.find("x.unwrap").unwrap();
+        let test_off = src.find("y.unwrap").unwrap();
+        let prod2_off = src.find("prod2").unwrap();
+        assert!(!f.in_test(prod_off));
+        assert!(f.in_test(test_off));
+        assert!(!f.in_test(prod2_off));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attrs_and_strings_with_braces() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    const S: &str = \"}\";\n}\nfn after() {}\n";
+        let f = file(src);
+        assert_eq!(f.test_regions.len(), 1);
+        assert!(!f.in_test(src.find("after").unwrap()));
+        // The `}` inside the string literal must not close the region.
+        assert!(f.in_test(src.find("S:").unwrap()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = file("#[cfg(not(test))]\nmod prod { fn f() { x.unwrap(); } }\n");
+        assert!(f.test_regions.is_empty());
+    }
+}

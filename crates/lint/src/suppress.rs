@@ -1,0 +1,213 @@
+//! Inline suppressions: `// lint: allow(<rule>[, <rule>…]) -- <why>`.
+//!
+//! A suppression silences the named rules on its own line (trailing
+//! form) or on the line directly below (standalone form). The `-- why`
+//! tail is part of the grammar on purpose: an allow without a recorded
+//! justification still suppresses — silencing a diagnostic should never
+//! be load-bearing on a second diagnostic — but it is itself reported as
+//! a `suppression-needs-justification` finding, so unexplained escapes
+//! cannot accumulate silently. Meta findings cannot be suppressed.
+
+use crate::config::{
+    is_known_rule, RULE_SUPPRESSION_NEEDS_JUSTIFICATION, RULE_SUPPRESSION_UNKNOWN_RULE,
+};
+use crate::lexer::TokenKind;
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+/// One parsed suppression comment.
+#[derive(Debug)]
+struct Suppression {
+    line: u32,
+    rules: Vec<String>,
+}
+
+/// Scans `file` for suppression comments. Returns the usable
+/// suppressions plus any meta findings (missing justification, unknown
+/// rule, malformed grammar).
+fn scan_file(file: &SourceFile) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut meta = Vec::new();
+    for idx in 0..file.tokens.len() {
+        let t = file.tokens[idx];
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = file.token_text(idx).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let meta_at = |rule: &'static str, message: String| Finding {
+            rule,
+            path: file.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            message,
+            excerpt: file.line_text(t.line).trim_end().to_string(),
+        };
+        // Grammar: allow(<rule>[, <rule>…]) [-- <justification>]
+        let parsed = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('('))
+            .and_then(|r| r.split_once(')'));
+        let Some((inside, tail)) = parsed else {
+            meta.push(meta_at(
+                RULE_SUPPRESSION_UNKNOWN_RULE,
+                "malformed suppression — expected `// lint: allow(<rule>) -- <justification>`"
+                    .to_string(),
+            ));
+            continue;
+        };
+        let rules: Vec<String> = inside
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            meta.push(meta_at(
+                RULE_SUPPRESSION_UNKNOWN_RULE,
+                "suppression allows no rules — expected `// lint: allow(<rule>) -- <justification>`"
+                    .to_string(),
+            ));
+            continue;
+        }
+        for rule in &rules {
+            if !is_known_rule(rule) {
+                meta.push(meta_at(
+                    RULE_SUPPRESSION_UNKNOWN_RULE,
+                    format!("suppression names unknown rule `{rule}`"),
+                ));
+            }
+        }
+        let justified = tail
+            .trim()
+            .strip_prefix("--")
+            .map(|j| !j.trim().is_empty())
+            .unwrap_or(false);
+        if !justified {
+            meta.push(meta_at(
+                RULE_SUPPRESSION_NEEDS_JUSTIFICATION,
+                format!(
+                    "suppression of `{}` has no `-- <justification>` tail — say why the \
+                     rule does not apply here",
+                    rules.join(", ")
+                ),
+            ));
+        }
+        sups.push(Suppression {
+            line: t.line,
+            rules,
+        });
+    }
+    (sups, meta)
+}
+
+/// Applies suppressions: removes silenced findings, returns the
+/// surviving findings (rule findings + meta findings, re-sorted) and the
+/// number suppressed.
+pub fn apply(files: &[SourceFile], findings: Vec<Finding>) -> (Vec<Finding>, u64) {
+    let mut all_sups: Vec<(String, Suppression)> = Vec::new();
+    let mut meta = Vec::new();
+    for file in files {
+        let (sups, m) = scan_file(file);
+        all_sups.extend(sups.into_iter().map(|s| (file.rel_path.clone(), s)));
+        meta.extend(m);
+    }
+    let mut suppressed = 0u64;
+    let mut kept: Vec<Finding> = Vec::new();
+    for f in findings {
+        let silenced = all_sups.iter().any(|(path, s)| {
+            *path == f.path
+                && (s.line == f.line || s.line + 1 == f.line)
+                && s.rules.iter().any(|r| r == f.rule)
+        });
+        if silenced {
+            suppressed += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    kept.extend(meta);
+    kept.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_rules;
+
+    fn lint(path: &str, src: &str) -> (Vec<Finding>, u64) {
+        let files = vec![SourceFile::parse(path.into(), src.to_string())];
+        let findings = run_rules(&files);
+        apply(&files, findings)
+    }
+
+    #[test]
+    fn justified_suppression_silences_and_is_clean() {
+        let src = "fn f() {\n    // lint: allow(unsafe-needs-safety) -- exercised by miri upstream\n    unsafe { danger() };\n}\n";
+        let (kept, suppressed) = lint("src/a.rs", src);
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn trailing_suppression_applies_to_its_own_line() {
+        let src = "fn f() {\n    unsafe { danger() }; // lint: allow(unsafe-needs-safety) -- fixture\n}\n";
+        let (kept, suppressed) = lint("src/a.rs", src);
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn unjustified_suppression_still_suppresses_but_is_reported() {
+        let src =
+            "fn f() {\n    // lint: allow(unsafe-needs-safety)\n    unsafe { danger() };\n}\n";
+        let (kept, suppressed) = lint("src/a.rs", src);
+        assert_eq!(suppressed, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, RULE_SUPPRESSION_NEEDS_JUSTIFICATION);
+        assert_eq!(kept[0].line, 2);
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let src = "// lint: allow(no-such-rule) -- oops\nfn f() {}\n";
+        let (kept, suppressed) = lint("src/a.rs", src);
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, RULE_SUPPRESSION_UNKNOWN_RULE);
+        assert!(kept[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn malformed_suppression_is_reported() {
+        let src = "// lint: allow unsafe-needs-safety -- missing parens\nfn f() {}\n";
+        let (kept, _) = lint("src/a.rs", src);
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn suppression_only_covers_named_rule_and_adjacent_lines() {
+        let src = "fn f() {\n    // lint: allow(no-panic-in-durable) -- wrong rule\n    unsafe { danger() };\n\n    // lint: allow(unsafe-needs-safety) -- too far\n\n    unsafe { danger() };\n}\n";
+        let (kept, suppressed) = lint("src/a.rs", src);
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 2, "{kept:?}");
+    }
+
+    #[test]
+    fn meta_findings_cannot_be_suppressed() {
+        let src = "// lint: allow(suppression-needs-justification) -- nice try\n// lint: allow(unsafe-needs-safety)\nunsafe fn g() {}\n";
+        let (kept, _) = lint("src/a.rs", src);
+        // Line 1 allows an unknown (meta) rule -> unknown-rule finding;
+        // line 2 is unjustified -> needs-justification finding survives.
+        assert_eq!(kept.len(), 2, "{kept:?}");
+        assert!(kept.iter().any(|f| f.rule == RULE_SUPPRESSION_UNKNOWN_RULE));
+        assert!(kept
+            .iter()
+            .any(|f| f.rule == RULE_SUPPRESSION_NEEDS_JUSTIFICATION));
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end tests for the `receipt-lint` binary.
+//!
+//! Two gates:
+//!
+//! 1. The deliberately-bad fixture tree under `tests/fixtures/lint/`
+//!    produces exactly the committed `--json` report, byte for byte —
+//!    pinning every rule's trigger, message, location, and the
+//!    suppression accounting in one snapshot.
+//! 2. The workspace itself lints clean (exit 0, zero findings) — the
+//!    self-check that keeps `cargo run -p receipt-lint` a meaningful CI
+//!    gate.
+//!
+//! To refresh the snapshot after an intentional rule or schema change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p receipt-lint --test lint_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run_lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_receipt-lint"))
+        .args(args)
+        .output()
+        .expect("receipt-lint must spawn")
+}
+
+#[test]
+fn fixture_report_matches_golden() {
+    let fixtures = repo_root().join("tests/fixtures/lint");
+    let out = run_lint(&[fixtures.to_str().unwrap(), "--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "fixture tree must report findings: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let document = String::from_utf8(out.stdout).expect("report is UTF-8");
+    let path = repo_root().join("tests/golden/lint_fixture.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &document).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {path:?}: {e}\nregenerate with: \
+             UPDATE_GOLDEN=1 cargo test -p receipt-lint --test lint_golden"
+        )
+    });
+    assert_eq!(
+        document, golden,
+        "lint golden snapshot drifted; if the change is intentional, \
+         regenerate with: UPDATE_GOLDEN=1 cargo test -p receipt-lint --test lint_golden"
+    );
+}
+
+#[test]
+fn fixture_report_covers_every_rule() {
+    // Independent of the exact snapshot bytes: the fixture tree must keep
+    // exercising all five rules and both suppression meta-findings, so a
+    // rule can never silently lose its regression coverage.
+    let fixtures = repo_root().join("tests/fixtures/lint");
+    let out = run_lint(&[fixtures.to_str().unwrap(), "--json"]);
+    let document = String::from_utf8(out.stdout).unwrap();
+    for rule in [
+        "unsafe-needs-safety",
+        "no-panic-in-durable",
+        "atomic-ordering-justified",
+        "no-lock-in-read-path",
+        "report-has-schema-version",
+        "suppression-needs-justification",
+        "suppression-unknown-rule",
+    ] {
+        assert!(
+            document.contains(&format!("\"rule\": \"{rule}\"")),
+            "fixture report lost its {rule} case"
+        );
+    }
+    assert!(
+        document.contains("\"suppressed_total\": 2"),
+        "fixture must keep one justified and one unjustified suppression"
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = repo_root();
+    let out = run_lint(&[root.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must lint clean; findings:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(" 0 finding(s)"),
+        "summary must confirm zero findings:\n{stdout}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = run_lint(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run_lint(&[repo_root().join("does/not/exist").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -16,6 +16,8 @@
 //! * [`thread`] — helpers for running a closure inside a rayon pool of an
 //!   exact size (the paper sweeps thread counts for Figures 10–11).
 
+#![forbid(unsafe_code)]
+
 pub mod atomic;
 pub mod pool;
 pub mod scan;

@@ -1,0 +1,27 @@
+//! Lint fixture: R4 (`no-lock-in-read-path`) violations — blocking calls
+//! in the module that must answer queries lock-free.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Snapshot {
+    inner: Mutex<Vec<u64>>,
+    tips: RwLock<Vec<u64>>,
+}
+
+impl Snapshot {
+    pub fn total(&self) -> u64 {
+        self.inner.lock().iter().sum()
+    }
+
+    pub fn tip(&self, v: usize) -> Option<u64> {
+        self.tips.read().get(v).copied()
+    }
+
+    pub fn try_refresh(&self) -> bool {
+        self.tips.try_write().is_some()
+    }
+
+    pub fn epoch(&self) -> u64 {
+        7
+    }
+}

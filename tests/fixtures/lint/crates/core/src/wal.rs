@@ -1,0 +1,40 @@
+//! Lint fixture: R2 (`no-panic-in-durable`) violations and the inline
+//! suppression grammar, in a path the rule scopes to.
+
+pub fn read_header(bytes: &[u8]) -> u64 {
+    let word: [u8; 8] = bytes[..8].try_into().unwrap();
+    u64::from_le_bytes(word)
+}
+
+pub fn commit(len: usize) {
+    assert!(len > 0, "empty record");
+    debug_assert!(len < (1 << 20), "debug assertions are allowed");
+}
+
+pub fn corrupt() -> ! {
+    panic!("checksum mismatch");
+}
+
+pub fn tail(bytes: &[u8]) -> u8 {
+    // lint: allow(no-panic-in-durable) -- fixture: justified suppression
+    *bytes.last().expect("nonempty")
+}
+
+pub fn head(bytes: &[u8]) -> u8 {
+    // lint: allow(no-panic-in-durable)
+    *bytes.first().expect("nonempty")
+}
+
+pub fn first(bytes: &[u8]) -> u8 {
+    // lint: allow(no-such-rule) -- the rule name is wrong
+    bytes[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

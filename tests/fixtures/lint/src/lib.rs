@@ -1,0 +1,61 @@
+//! Lint fixture: R1 (`unsafe-needs-safety`) and R5
+//! (`report-has-schema-version`) violations, mixed with clean cases so
+//! the golden report pins both sides of each rule.
+
+/// Reads a raw pointer, with no caller contract documented.
+pub unsafe fn peek(p: *const u32) -> u32 {
+    *p
+}
+
+/// Reads a raw pointer, documented.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn peek_documented(p: *const u32) -> u32 {
+    *p
+}
+
+pub struct Wrapper(u8);
+
+// SAFETY: `Wrapper` owns no shared state.
+unsafe impl Send for Wrapper {}
+
+pub fn read_both(p: *const u32) -> (u32, u32) {
+    // SAFETY: caller guarantees two readable words at `p`.
+    let a = unsafe { *p };
+    let b = unsafe { *p.add(1) };
+    (a, b)
+}
+
+#[derive(Debug, Serialize)]
+pub struct StatsReport {
+    pub kind: &'static str,
+    pub total: u64,
+}
+
+#[derive(Debug, Serialize)]
+pub struct SummaryReport {
+    pub schema_version: u32,
+    pub entries: Vec<EntryRow>,
+}
+
+#[derive(Debug, Serialize)]
+pub struct EntryRow {
+    pub id: u64,
+}
+
+#[derive(Debug, Serialize)]
+pub struct LintReport {
+    pub schema_version: u32,
+    pub findings: Vec<FindingRow>,
+}
+
+#[derive(Debug, Serialize)]
+pub struct FindingRow {
+    pub rule: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct PlainReport {
+    pub not_serialized: bool,
+}

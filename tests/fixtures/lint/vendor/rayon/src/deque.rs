@@ -1,0 +1,31 @@
+//! Lint fixture: R3 (`atomic-ordering-justified`) violations in a
+//! scheduler file, plus an unsafe-in-test case (R1 applies in tests too).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn publish(a: &AtomicUsize) {
+    a.store(1, Ordering::Release);
+}
+
+pub fn claim(a: &AtomicUsize) -> usize {
+    // ordering: Acquire pairs with the Release in `publish`.
+    a.load(Ordering::Acquire)
+}
+
+pub fn tally(a: &AtomicUsize) {
+    a.fetch_add(1, Ordering::Relaxed); // ordering: advisory counter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_are_unchecked_in_tests() {
+        let a = AtomicUsize::new(0);
+        a.store(7, Ordering::SeqCst);
+        assert_eq!(a.load(Ordering::SeqCst), 7);
+        let p = &a as *const AtomicUsize;
+        unsafe { (*p).store(8, Ordering::SeqCst) };
+    }
+}

@@ -120,6 +120,9 @@ pub struct Deque<T> {
 // suffices because elements cross threads but are never aliased: exactly
 // one winner (owner pop or thief CAS) reclaims each leaked box.
 unsafe impl<T: Send> Send for Deque<T> {}
+// SAFETY: same argument as `Send` above — concurrent `&Deque` access is
+// exactly the owner/thief protocol: atomics order every shared field and
+// the CAS in `steal` picks a unique winner per element.
 unsafe impl<T: Send> Sync for Deque<T> {}
 
 impl<T> Default for Deque<T> {
@@ -146,17 +149,26 @@ impl<T> Deque<T> {
     /// fine — that is the point).
     pub unsafe fn push(&self, value: T) {
         let item = Box::into_raw(Box::new(value));
+        // ordering: `bottom` is written only by the owner (us) — Relaxed.
         let b = self.bottom.load(Ordering::Relaxed);
+        // ordering: Acquire pairs with the thieves' `top` CAS so the
+        // occupancy check below sees slots already drained by steals.
         let t = self.top.load(Ordering::Acquire);
+        // ordering: `buffer` is replaced only by the owner (us) — Relaxed.
         let mut buf = self.buffer.load(Ordering::Relaxed);
         if b.wrapping_sub(t) >= (*buf).capacity() as isize {
             self.grow(t, b);
+            // ordering: owner-private reload of our own `grow` store.
             buf = self.buffer.load(Ordering::Relaxed);
         }
+        // ordering: Relaxed slot store; publication happens via the
+        // Release fence + `bottom` store below, never through the slot.
         (*buf).slot(b).store(item, Ordering::Relaxed);
-        // Publish the slot before the new bottom: a thief that observes
-        // `bottom > b` (Acquire) must also observe the slot's contents.
+        // ordering: publish the slot before the new bottom — a thief that
+        // observes `bottom > b` (Acquire) must also observe the slot's
+        // contents (Lê et al. Fig. 1, the Release half).
         std::sync::atomic::fence(Ordering::Release);
+        // ordering: Relaxed store; ordered by the fence above.
         self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
     }
 
@@ -165,26 +177,37 @@ impl<T> Deque<T> {
     /// # Safety
     /// Same contract as [`Deque::push`]: unique-owner threads only.
     pub unsafe fn pop(&self) -> Option<T> {
+        // ordering: owner-private reads — we are the only writer of
+        // `bottom` and `buffer`.
         let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
-        let buf = self.buffer.load(Ordering::Relaxed);
-        // Announce the claim on index `b` before reading `top`: the
-        // SeqCst fence pairs with the fence in `steal` so owner and thief
-        // cannot both miss each other's claim on the last element.
+        let buf = self.buffer.load(Ordering::Relaxed); // ordering: owner-private too
+                                                       // ordering: announce the claim on index `b` before reading `top` —
+                                                       // the SeqCst fence pairs with the fence in `steal` so owner and
+                                                       // thief cannot both miss each other's claim on the last element
+                                                       // (the store itself is Relaxed; the fence provides the order).
         self.bottom.store(b, Ordering::Relaxed);
-        std::sync::atomic::fence(Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst); // ordering: see claim above
+                                                    // ordering: Relaxed load; ordered after the claim by the fence.
         let t = self.top.load(Ordering::Relaxed);
         if t > b {
-            // Already empty; restore the canonical empty state.
+            // ordering: owner-private restore of the canonical empty
+            // state; thieves tolerate any stale `bottom` they read.
             self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
             return None;
         }
+        // ordering: Relaxed slot read — the owner published this slot
+        // itself, so no synchronization is needed to see it.
         let item = (*buf).slot(b).load(Ordering::Relaxed);
         if t == b {
-            // Exactly one element: race thieves for it on `top`.
+            // ordering: exactly one element — race thieves for it on
+            // `top`. SeqCst success keeps the CAS in the same total order
+            // as the thieves' CASes; failure takes no ordering because we
+            // drop the element claim entirely.
             let won = self
                 .top
                 .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok();
+            // ordering: owner-private restore (see above).
             self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
             if !won {
                 // A thief got it; it will (or did) dereference `item`.
@@ -198,16 +221,21 @@ impl<T> Deque<T> {
 
     /// Thief-side take from the top (FIFO). Safe from any thread.
     pub fn steal(&self) -> Steal<T> {
+        // ordering: Acquire pairs with other thieves' winning CASes so
+        // this thief starts from a current-enough `top`.
         let t = self.top.load(Ordering::Acquire);
-        // Pairs with the fence in `pop`: order the `top` read before the
-        // `bottom` read so a concurrent owner claim is not missed.
+        // ordering: pairs with the fence in `pop` — order the `top` read
+        // before the `bottom` read so a concurrent owner claim is not
+        // missed (Lê et al. Fig. 1, the SeqCst pair).
         std::sync::atomic::fence(Ordering::SeqCst);
+        // ordering: Acquire pairs with the Release fence in `push` — a
+        // `bottom` past `t` implies the slot contents are visible.
         let b = self.bottom.load(Ordering::Acquire);
         if t >= b {
             return Steal::Empty;
         }
-        // Acquire pairs with the Release publication in `grow`: a buffer
-        // observed here has its live window fully copied.
+        // ordering: Acquire pairs with the Release publication in `grow` —
+        // a buffer observed here has its live window fully copied.
         let buf = self.buffer.load(Ordering::Acquire);
         // SAFETY: buffers are never freed while the deque lives (the
         // graveyard keeps superseded ones), so `buf` is dereferenceable.
@@ -215,7 +243,12 @@ impl<T> Deque<T> {
         // CAS below proves `top` did not move, which the occupancy bound
         // (`bottom - top <= capacity`) extends to "the slot was not
         // recycled".
+        // ordering: Relaxed slot read — validity comes from the CAS below,
+        // not from this load's ordering.
         let item = unsafe { (*buf).slot(t).load(Ordering::Relaxed) };
+        // ordering: SeqCst success joins the owner's and thieves' CASes in
+        // one total order, picking a unique winner for index `t`; failure
+        // abandons the claim and needs no ordering.
         if self
             .top
             .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
@@ -235,18 +268,22 @@ impl<T> Deque<T> {
     /// # Safety
     /// Owner-only (called from `push`).
     unsafe fn grow(&self, t: isize, b: isize) {
+        // ordering: owner-private read — only the owner replaces `buffer`.
         let old = self.buffer.load(Ordering::Relaxed);
         let new = Buffer::new(((*old).capacity() * 2).max(MIN_CAPACITY));
         let mut i = t;
         while i != b {
+            // ordering: Relaxed copy of owner-published slots into a
+            // buffer no thief can see yet; the Release store below
+            // publishes the whole window at once.
             (*new)
                 .slot(i)
                 .store((*old).slot(i).load(Ordering::Relaxed), Ordering::Relaxed);
             i = i.wrapping_add(1);
         }
         let new = Box::into_raw(new);
-        // Release: a thief that Acquire-loads the new buffer sees every
-        // slot copied above.
+        // ordering: Release — a thief that Acquire-loads the new buffer
+        // sees every slot copied above.
         self.buffer.store(new, Ordering::Release);
         self.graveyard
             .lock()
@@ -256,8 +293,10 @@ impl<T> Deque<T> {
 
     /// Approximate number of queued elements; exact at quiescence.
     pub fn len(&self) -> usize {
+        // ordering: advisory snapshot — callers tolerate any interleaving,
+        // so Relaxed reads suffice.
         let b = self.bottom.load(Ordering::Relaxed);
-        let t = self.top.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed); // ordering: advisory too
         b.wrapping_sub(t).max(0) as usize
     }
 
@@ -276,6 +315,7 @@ impl<T> Drop for Deque<T> {
         let mut i = t;
         while i < b {
             // SAFETY: indices in [t, b) hold un-reclaimed leaked boxes.
+            // ordering: `&mut self` means no concurrent access — Relaxed.
             unsafe { drop(Box::from_raw((*buf).slot(i).load(Ordering::Relaxed))) };
             i += 1;
         }
@@ -288,6 +328,8 @@ impl<T> Drop for Deque<T> {
             .expect("deque graveyard poisoned")
             .drain(..)
         {
+            // SAFETY: graveyard entries are `Box::into_raw` buffers parked
+            // by `grow`, each present exactly once — reclaimed here only.
             unsafe { drop(Box::from_raw(old)) };
         }
     }
@@ -302,6 +344,7 @@ mod tests {
     #[test]
     fn owner_pop_is_lifo() {
         let d = Deque::new();
+        // SAFETY: this thread is the deque's only owner; no steals run.
         unsafe {
             d.push(1);
             d.push(2);
@@ -317,6 +360,8 @@ mod tests {
     #[test]
     fn steal_is_fifo() {
         let d = Deque::new();
+        // SAFETY: this thread is the deque's only owner; no steals run
+        // until the pushes are done.
         unsafe {
             d.push(1);
             d.push(2);
@@ -332,6 +377,8 @@ mod tests {
     fn growth_preserves_contents_and_order() {
         let d = Deque::new();
         let n = MIN_CAPACITY * 8 + 3; // force several doublings
+                                      // SAFETY: this thread is the deque's only owner; no steals run
+                                      // until the pushes are done.
         unsafe {
             for i in 0..n {
                 d.push(i);
@@ -381,6 +428,8 @@ mod tests {
         // Owner: push everything, popping a few along the way.
         let mut popped = 0usize;
         let mut popped_sum = 0usize;
+        // SAFETY: push/pop stay on this one owner thread; the spawned
+        // threads only steal, which is the allowed concurrent operation.
         unsafe {
             for i in 1..=total {
                 d.push(i);

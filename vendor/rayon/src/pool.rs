@@ -158,6 +158,7 @@ fn pool() -> &'static PoolState {
 /// observability hook: after a warm-up at the largest budget a process
 /// uses, this value must not grow — parallel terminals reuse workers.
 pub fn total_workers_spawned() -> usize {
+    // ordering: advisory observability read — no dependent data access.
     pool().spawned.load(Ordering::Relaxed)
 }
 
@@ -204,17 +205,21 @@ pub struct SchedulerStats {
 /// any time.
 pub fn scheduler_stats() -> SchedulerStats {
     let p = pool();
-    // `spawned` is published with `Release` after each spawn, so slots
-    // `< n` are fully initialized owners; the snapshot length can trail a
-    // concurrent grow by design (the old registry lock had the same
-    // property — a snapshot is always of *some* recent instant).
+    // ordering: Acquire — `spawned` is published with `Release` after
+    // each spawn, so slots `< n` are fully initialized owners; the
+    // snapshot length can trail a concurrent grow by design (the old
+    // registry lock had the same property — a snapshot is always of
+    // *some* recent instant).
     let n = p.spawned.load(Ordering::Acquire);
+    // ordering: every counter below is an independent monotonic tally —
+    // Relaxed loads; the snapshot promises no cross-counter consistency.
     let per_worker_executed: Vec<u64> = p.workers[..n]
         .iter()
         .map(|w| w.executed.load(Ordering::Relaxed))
         .collect();
-    let helper_executed = p.helper_executed.load(Ordering::Relaxed);
+    let helper_executed = p.helper_executed.load(Ordering::Relaxed); // ordering: Relaxed tally, as above
     SchedulerStats {
+        // ordering: Relaxed tally reads, as above — advisory telemetry.
         workers_spawned: n,
         jobs_submitted: p.jobs_submitted.load(Ordering::Relaxed),
         tasks_executed: helper_executed + per_worker_executed.iter().sum::<u64>(),
@@ -244,6 +249,8 @@ pub(crate) fn on_worker_thread() -> bool {
 /// worker or a caller polling inside [`help_until_done`]. A split made
 /// now has a thief ready to take it.
 pub(crate) fn has_idle_threads() -> bool {
+    // ordering: heuristic gate — a stale read only mis-tunes splitting,
+    // never correctness, so Relaxed suffices.
     pool().idle_threads.load(Ordering::Relaxed) > 0
 }
 
@@ -273,6 +280,8 @@ fn splitmix_next(state: &Cell<u64>) -> u64 {
 fn steal_rotation() -> u64 {
     STEAL_SEED.with(|seed| {
         if seed.get() == 0 {
+            // ordering: Relaxed counter — only uniqueness of the ordinal
+            // matters, which the atomic RMW guarantees at any ordering.
             let ordinal = pool().helper_seed.fetch_add(1, Ordering::Relaxed);
             seed.set((MAX_WORKERS as u64 + 1 + ordinal) << 1);
         }
@@ -287,11 +296,16 @@ fn steal_rotation() -> u64 {
 fn ensure_workers(target: usize) {
     let p = pool();
     let target = target.min(MAX_WORKERS);
+    // ordering: Acquire pairs with the Release store below so a caller
+    // that sees `spawned >= target` also sees those workers' slots.
     if p.spawned.load(Ordering::Acquire) >= target {
         return;
     }
     let _guard = p.growth.lock().expect("pool growth lock poisoned");
+    // ordering: Acquire re-check under the growth lock (same pairing).
     while p.spawned.load(Ordering::Acquire) < target {
+        // ordering: Relaxed re-read — we hold the growth lock, the only
+        // place `spawned` is written.
         let index = p.spawned.load(Ordering::Relaxed);
         std::thread::Builder::new()
             // Named so panics and debugger output identify the pool.
@@ -302,6 +316,8 @@ fn ensure_workers(target: usize) {
             .stack_size(8 << 20)
             .spawn(move || worker_loop(index))
             .expect("failed to spawn pool worker");
+        // ordering: Release publishes the spawned worker's slot to the
+        // Acquire readers above and in `try_steal`/`scheduler_stats`.
         p.spawned.store(index + 1, Ordering::Release);
     }
 }
@@ -338,9 +354,14 @@ fn worker_loop(index: usize) {
 /// firing is counted in `idle_timeouts` so telemetry can tell backstop
 /// churn from real notifications.
 fn park_idle(p: &PoolState) {
+    // ordering: SeqCst — the idle count and `pending` form a Dekker-style
+    // pair with submitters (see the doc comment above): both sides'
+    // writes and reads must sit in one total order or a submitter could
+    // miss the parked worker while the worker misses the new job.
     p.idle_threads.fetch_add(1, Ordering::SeqCst);
     {
         let mut guard = p.idle_lock.lock().expect("pool idle lock poisoned");
+        // ordering: SeqCst read of the Dekker pair (see above).
         while p.pending.load(Ordering::SeqCst) == 0 {
             let (g, timeout) = p
                 .signal
@@ -348,6 +369,7 @@ fn park_idle(p: &PoolState) {
                 .expect("pool idle lock poisoned");
             guard = g;
             if timeout.timed_out() {
+                // ordering: Relaxed telemetry tally.
                 p.idle_timeouts.fetch_add(1, Ordering::Relaxed);
             } else {
                 // A real notification: leave even if `pending` was
@@ -357,6 +379,7 @@ fn park_idle(p: &PoolState) {
             }
         }
     }
+    // ordering: SeqCst — leave the Dekker pair the way we entered it.
     p.idle_threads.fetch_sub(1, Ordering::SeqCst);
 }
 
@@ -374,6 +397,9 @@ fn find_job(p: &PoolState, lifo_injector: bool) -> Option<Job> {
         // but never touches existing slots.
         let own = unsafe { p.workers[index].deque.pop() };
         if let Some(job) = own {
+            // ordering: SeqCst half of the Dekker pair with `park_idle`
+            // (see its doc comment) — a submitter and a parking worker
+            // must agree on whether this job is still pending.
             p.pending.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
         }
@@ -390,7 +416,9 @@ fn find_job(p: &PoolState, lifo_injector: bool) -> Option<Job> {
         }
     };
     if let Some(job) = from_injector {
+        // ordering: SeqCst Dekker pair with `park_idle`, as above.
         p.pending.fetch_sub(1, Ordering::SeqCst);
+        // ordering: Relaxed telemetry tally.
         p.injector_pops.fetch_add(1, Ordering::Relaxed);
         return Some(job);
     }
@@ -408,6 +436,9 @@ fn find_job(p: &PoolState, lifo_injector: bool) -> Option<Job> {
 /// victim probed, as before, keeping the counter's meaning stable across
 /// the mutex→Chase–Lev swap.
 fn try_steal(p: &PoolState) -> Option<Job> {
+    // ordering: Acquire pairs with the Release store in `ensure_workers`
+    // so every slot below index `n` is fully initialized before we index
+    // into it.
     let n = p.spawned.load(Ordering::Acquire);
     if n == 0 {
         return None;
@@ -419,11 +450,15 @@ fn try_steal(p: &PoolState) -> Option<Job> {
         if Some(victim) == me {
             continue;
         }
+        // ordering: Relaxed telemetry tally.
         p.steals_attempted.fetch_add(1, Ordering::Relaxed);
         loop {
             match p.workers[victim].deque.steal() {
                 Steal::Success(job) => {
+                    // ordering: SeqCst Dekker pair with `park_idle` (see
+                    // its doc comment).
                     p.pending.fetch_sub(1, Ordering::SeqCst);
+                    // ordering: Relaxed telemetry tally.
                     p.steals_succeeded.fetch_add(1, Ordering::Relaxed);
                     return Some(job);
                 }
@@ -441,9 +476,13 @@ fn try_steal(p: &PoolState) -> Option<Job> {
 fn note_executed(p: &PoolState) {
     match current_worker() {
         Some(index) => {
+            // ordering: Relaxed telemetry tally; `scheduler_stats` reads
+            // it after an Acquire on `spawned`, which is enough for the
+            // monotone properties the tests assert.
             p.workers[index].executed.fetch_add(1, Ordering::Relaxed);
         }
         None => {
+            // ordering: Relaxed telemetry tally, as above.
             p.helper_executed.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -470,10 +509,16 @@ impl Latch {
     }
 
     pub(crate) fn add(&self, n: usize) {
+        // ordering: Release pairs with the Acquire in `done` — a waiter
+        // that still sees a nonzero count keeps helping; one that sees
+        // zero must also see every effect of the jobs it covered.
         self.pending.fetch_add(n, Ordering::Release);
     }
 
     pub(crate) fn done(&self) -> bool {
+        // ordering: Acquire pairs with the AcqRel `complete_one` so a
+        // waiter that observes zero also observes every completed job's
+        // writes (results, panic payloads).
         self.pending.load(Ordering::Acquire) == 0
     }
 
@@ -489,6 +534,9 @@ impl Latch {
     }
 
     fn complete_one(&self) {
+        // ordering: AcqRel — Release publishes this job's effects to the
+        // waiter that observes the decrement; Acquire chains the previous
+        // completions so the final decrement carries all of them.
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Taking `done_lock` orders this notify after any waiter's
             // done-check, so the wakeup cannot be lost; only this latch's
@@ -522,6 +570,8 @@ pub(crate) fn help_until_done(latch: &Latch) {
                 // helper's polling backstop for both. While parked we
                 // count as an idle thief — the 200µs poll keeps splits
                 // made on our behalf from going stale.
+                // ordering: SeqCst — joins the Dekker pair in `park_idle`
+                // (see its doc comment) while we are parked here.
                 p.idle_threads.fetch_add(1, Ordering::SeqCst);
                 {
                     let guard = latch.done_lock.lock().expect("latch done lock poisoned");
@@ -532,6 +582,7 @@ pub(crate) fn help_until_done(latch: &Latch) {
                             .expect("latch done lock poisoned");
                     }
                 }
+                // ordering: SeqCst — leave the Dekker pair as entered.
                 p.idle_threads.fetch_sub(1, Ordering::SeqCst);
             }
         }
@@ -577,7 +628,11 @@ pub(crate) unsafe fn submit<'a>(
     });
     ensure_workers(budget.saturating_sub(1));
     let p = pool();
+    // ordering: Relaxed telemetry tally.
     p.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    // ordering: SeqCst submitter half of the Dekker pair with `park_idle`
+    // (see its doc comment) — the increment must be visible to any worker
+    // that parks after this point.
     p.pending.fetch_add(1, Ordering::SeqCst);
     match current_worker() {
         Some(index) => {
@@ -587,6 +642,7 @@ pub(crate) unsafe fn submit<'a>(
             unsafe { p.workers[index].deque.push(wrapped) };
         }
         None => {
+            // ordering: Relaxed telemetry tally.
             p.injector_pushes.fetch_add(1, Ordering::Relaxed);
             p.injector
                 .lock()
@@ -600,6 +656,9 @@ pub(crate) unsafe fn submit<'a>(
     // lost; when nobody is parked the notify (and its lock) is skipped —
     // busy workers find the job on their next scan, and the submitting
     // batch's owner polls on a timeout in `help_until_done` regardless.
+    // ordering: SeqCst submitter read of the Dekker pair — total order
+    // with the worker's idle fetch_add/pending load in `park_idle` rules
+    // out both sides missing each other.
     if p.idle_threads.load(Ordering::SeqCst) > 0 {
         let _guard = p.idle_lock.lock().expect("pool idle lock poisoned");
         p.signal.notify_one();

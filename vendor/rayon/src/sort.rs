@@ -54,6 +54,10 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 
+// SAFETY: a `SendPtr` is only ever handed to the disjoint sub-ranges of
+// one `join`/`par_merge` call tree — each closure touches its own half,
+// so moving the raw pointer across threads aliases nothing; `T: Send`
+// covers the elements themselves.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 
 /// Sorts `v` with the ambient parallelism budget. The single entry point
